@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive part — building the 91-resolver world and running the full
+home + EC2 study — happens once per session here; the per-table and
+per-figure benchmarks then time the analysis that produces each artifact
+and print paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import ResultStore
+from repro.experiments.campaigns import run_study
+from repro.experiments.world import World, build_world
+
+#: Rounds used for the shared study.  Enough for stable medians (each
+#: (vantage, resolver) pair gets rounds x 3 domain samples) while keeping
+#: the one-off simulation around half a minute.
+HOME_ROUNDS = 10
+EC2_ROUNDS = 10
+
+
+@pytest.fixture(scope="session")
+def study_world() -> World:
+    return build_world(seed=0)
+
+
+@pytest.fixture(scope="session")
+def study_store(study_world: World) -> ResultStore:
+    return run_study(study_world, home_rounds=HOME_ROUNDS, ec2_rounds=EC2_ROUNDS)
+
+
+def print_artifact(title: str, body: str) -> None:
+    """Emit a rendered artifact into the pytest output."""
+    print(f"\n================ {title} ================")
+    print(body)

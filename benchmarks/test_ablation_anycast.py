@@ -1,0 +1,84 @@
+"""A2 — Ablation: anycast replication vs unicast deployment.
+
+The paper's central mechanism: "most encrypted DNS resolvers are not
+replicated or anycast", which is why non-mainstream resolvers fall off
+with distance.  The ablation deploys the *same* resolver twice — once
+unicast (Frankfurt only), once anycast (Frankfurt + Chicago + Seoul) —
+and measures both from all three EC2 vantage points.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.stats import median
+from repro.catalog.resolvers import CatalogEntry
+from repro.core.probes import DohProbe, DohProbeConfig
+from repro.experiments.world import build_world
+from benchmarks.conftest import print_artifact
+
+QUERIES = 9
+
+
+def _entry(hostname, cities):
+    return CatalogEntry(
+        hostname=hostname, operator="ablation", region="EU", cities=cities,
+        perf="fast", reliability="rock",
+    )
+
+
+@pytest.fixture(scope="module")
+def anycast_world():
+    catalog = [
+        _entry("unicast.ablation.test", ("frankfurt",)),
+        _entry("anycast.ablation.test", ("frankfurt", "chicago", "seoul")),
+    ]
+    return build_world(seed=31, catalog=catalog)
+
+
+def measure(world, hostname, vantage) -> float:
+    deployment = world.deployment(hostname)
+    probe = DohProbe(
+        world.vantage(vantage).host, deployment.service_ip, hostname,
+        DohProbeConfig(), rng=random.Random(5),
+    )
+    durations = []
+    for _ in range(QUERIES):
+        outcomes = []
+        probe.query("google.com", outcomes.append)
+        world.network.run()
+        if outcomes[0].success:
+            durations.append(outcomes[0].duration_ms)
+    return median(durations)
+
+
+def test_anycast_vs_unicast(benchmark, anycast_world):
+    world = anycast_world
+
+    def run_all():
+        out = {}
+        for vantage in ("ec2-ohio", "ec2-frankfurt", "ec2-seoul"):
+            out[vantage] = (
+                measure(world, "unicast.ablation.test", vantage),
+                measure(world, "anycast.ablation.test", vantage),
+            )
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Locally (Frankfurt) the two are equivalent.
+    unicast_local, anycast_local = results["ec2-frankfurt"]
+    assert anycast_local == pytest.approx(unicast_local, rel=0.3)
+    # Remotely, anycast wins by a large factor.
+    for vantage in ("ec2-ohio", "ec2-seoul"):
+        unicast_remote, anycast_remote = results[vantage]
+        assert anycast_remote * 4 < unicast_remote, vantage
+
+    print_artifact(
+        "A2: anycast vs unicast (same resolver, medians in ms)",
+        "\n".join(
+            f"{vantage:<14} unicast {unicast:7.1f} | anycast {anycast:6.1f}"
+            for vantage, (unicast, anycast) in results.items()
+        ),
+    )

@@ -1,0 +1,82 @@
+"""A3 — Ablation: TLS version x HTTP version handshake matrix.
+
+Measures a clean unicast resolver under every (TLS, HTTP) combination the
+deployments in the study use, isolating where handshake round trips go.
+HTTP version should not change response time (both are one exchange once
+the connection is up); the TLS version should (1.2 costs one extra RTT).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.stats import median
+from repro.catalog.resolvers import CatalogEntry
+from repro.core.probes import DohProbe, DohProbeConfig
+from repro.experiments.world import build_world
+from benchmarks.conftest import print_artifact
+
+QUERIES = 9
+
+
+@pytest.fixture(scope="module")
+def handshake_world():
+    catalog = [
+        CatalogEntry(
+            hostname="matrix.ablation.test", operator="ablation", region="EU",
+            cities=("frankfurt",), perf="fast", reliability="rock",
+        )
+    ]
+    return build_world(seed=41, catalog=catalog)
+
+
+def measure(world, tls, http) -> float:
+    deployment = world.deployment("matrix.ablation.test")
+    probe = DohProbe(
+        world.vantage("ec2-ohio").host, deployment.service_ip,
+        "matrix.ablation.test",
+        DohProbeConfig(tls_versions=(tls,), http_versions=(http,)),
+        rng=random.Random(3),
+    )
+    durations = []
+    for _ in range(QUERIES):
+        outcomes = []
+        probe.query("google.com", outcomes.append)
+        world.network.run()
+        assert outcomes[0].success
+        assert outcomes[0].tls_version == tls
+        assert outcomes[0].http_version == http
+        durations.append(outcomes[0].duration_ms)
+    return median(durations)
+
+
+def test_handshake_matrix(benchmark, handshake_world):
+    world = handshake_world
+    rtt = world.network.rtt_between(
+        world.vantage("ec2-ohio").host,
+        world.deployment("matrix.ablation.test").service_ip,
+    )
+
+    def run_all():
+        return {
+            (tls, http): measure(world, tls, http)
+            for tls in ("1.3", "1.2")
+            for http in ("h2", "http/1.1")
+        }
+
+    matrix = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # TLS 1.3 rows ~= 3 x RTT; TLS 1.2 rows ~= 4 x RTT.
+    for http in ("h2", "http/1.1"):
+        assert matrix[("1.3", http)] / rtt == pytest.approx(3.0, rel=0.15)
+        assert matrix[("1.2", http)] / rtt == pytest.approx(4.0, rel=0.15)
+        # HTTP version is round-trip-neutral.
+        assert matrix[("1.3", "h2")] == pytest.approx(matrix[("1.3", "http/1.1")], rel=0.1)
+
+    print_artifact(
+        "A3: TLS x HTTP handshake matrix (medians, RTT multiples)",
+        "\n".join(
+            f"TLS {tls} + {http:<9} {value:7.1f} ms = {value / rtt:.2f} x RTT"
+            for (tls, http), value in matrix.items()
+        ),
+    )

@@ -1,0 +1,81 @@
+"""A5 — Ablation: Oblivious DoH relay overhead.
+
+The study's four ``odoh-target-*`` rows are ODoH targets.  This ablation
+measures the same target three ways from the Ohio vantage point:
+
+* plain DoH directly at the target;
+* ODoH through the oblivious proxy (cold: proxy dials the target);
+* ODoH through the proxy again (warm: proxy reuses its upstream
+  connection — the steady state for a busy relay).
+
+The warm relay's overhead over direct DoH is one client<->proxy exchange
+plus the proxy->target hop — the privacy/latency price of hiding the
+client address from the resolver.
+"""
+
+import random
+
+import pytest
+
+from repro.catalog.resolvers import CATALOG
+from repro.core.odoh import OdohProbe, OdohProbeConfig
+from repro.core.probes import DohProbe, DohProbeConfig
+from repro.experiments.world import build_world
+from benchmarks.conftest import print_artifact
+
+TARGET = "odoh-target.alekberg.net"
+
+
+@pytest.fixture(scope="module")
+def odoh_world():
+    from dataclasses import replace
+
+    # Pin reliability so the ablation's timing comparison isn't disturbed
+    # by the target's (realistic) injected connection failures.
+    catalog = [
+        replace(entry, reliability="rock")
+        for entry in CATALOG
+        if entry.hostname == TARGET
+    ]
+    return build_world(seed=61, catalog=catalog)
+
+
+def test_odoh_relay_overhead(benchmark, odoh_world):
+    world = odoh_world
+    host = world.vantage("ec2-ohio").host
+    deployment = world.deployment(TARGET)
+
+    def run():
+        results = {}
+        outcomes = []
+        DohProbe(host, deployment.service_ip, TARGET, DohProbeConfig(),
+                 rng=random.Random(1)).query("google.com", outcomes.append)
+        world.network.run()
+        results["direct DoH"] = outcomes[0]
+        for label, seed in (("ODoH (cold relay)", 2), ("ODoH (warm relay)", 3)):
+            out = []
+            OdohProbe(host, world.odoh_proxy_ip, world.odoh_proxy_name,
+                      TARGET, OdohProbeConfig(), rng=random.Random(seed)
+                      ).query("google.com", out.append)
+            world.network.run()
+            results[label] = out[0]
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    direct = results["direct DoH"]
+    cold = results["ODoH (cold relay)"]
+    warm = results["ODoH (warm relay)"]
+    assert direct.success and cold.success and warm.success
+    # The relay always costs something; a warm relay costs less than cold.
+    assert warm.duration_ms > direct.duration_ms * 1.3
+    assert warm.duration_ms < cold.duration_ms
+    # All three produce the same answers (the relay is content-neutral).
+    assert direct.answers == cold.answers == warm.answers
+
+    print_artifact(
+        "A5: ODoH relay overhead (Ohio -> Amsterdam proxy -> New York target)",
+        "\n".join(
+            f"{label:<18} {outcome.duration_ms:7.1f} ms"
+            for label, outcome in results.items()
+        ),
+    )

@@ -1,0 +1,84 @@
+"""D1 — Extension: query-distribution strategies (paper §5 discussion).
+
+The paper argues for spreading queries across multiple viable encrypted
+resolvers.  This bench evaluates the standard strategies on the simulated
+platform and asserts the canonical trade-off:
+
+* a single resolver exposes the full profile to one operator;
+* distribution strategies cut the per-operator share to ~1/k;
+* racing (first-response-wins) matches or beats single-resolver latency;
+* hash-sticky sharding bounds the distinct-domain profile per operator.
+"""
+
+import pytest
+
+from repro.distribution import (
+    HashStickyStrategy,
+    RacingStrategy,
+    RoundRobinStrategy,
+    SingleResolverStrategy,
+    evaluate_strategy,
+)
+from benchmarks.conftest import print_artifact
+
+CANDIDATES = [
+    "dns.google",
+    "dns.quad9.net",
+    "security.cloudflare-dns.com",
+    "ordns.he.net",
+    "freedns.controld.com",
+]
+DOMAINS = [
+    "google.com", "amazon.com", "wikipedia.com",
+    "www.google.com", "www.amazon.com", "www.wikipedia.org",
+    "host1.example-sites.net", "host2.example-sites.net",
+    "host3.example-sites.net", "host4.example-sites.net",
+]
+QUERIES = 40
+
+
+def test_distribution_strategies(benchmark, study_world):
+    world = study_world
+
+    def run_all():
+        return {
+            "single": evaluate_strategy(
+                world, "ec2-ohio", SingleResolverStrategy("dns.google"),
+                DOMAINS, queries=QUERIES, seed=8),
+            "round-robin": evaluate_strategy(
+                world, "ec2-ohio", RoundRobinStrategy(CANDIDATES),
+                DOMAINS, queries=QUERIES, seed=8),
+            "hash-sticky": evaluate_strategy(
+                world, "ec2-ohio", HashStickyStrategy(CANDIDATES),
+                DOMAINS, queries=QUERIES, seed=8),
+            "racing": evaluate_strategy(
+                world, "ec2-ohio", RacingStrategy(CANDIDATES, fanout=2),
+                DOMAINS, queries=QUERIES, seed=8),
+        }
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    single = outcomes["single"]
+    assert single.privacy.max_share == 1.0
+    assert single.privacy.max_profile_fraction == 1.0
+
+    spread = outcomes["round-robin"]
+    assert spread.privacy.max_share <= 1.0 / len(CANDIDATES) + 0.05
+    assert spread.privacy.entropy_bits > 2.0
+
+    sticky = outcomes["hash-sticky"]
+    assert sticky.privacy.max_profile_fraction < 0.8
+
+    racing = outcomes["racing"]
+    assert racing.latency.median <= single.latency.median * 1.1
+    assert racing.privacy.total_sightings == 2 * QUERIES
+
+    # Distribution costs little latency from a well-connected vantage
+    # point when the candidate set is made of viable resolvers — the
+    # paper's point about needing more viable alternatives.
+    assert spread.latency.median <= single.latency.median * 1.5
+
+    print_artifact(
+        "D1: distribution strategies (Ohio vantage, 5 viable resolvers)",
+        "\n".join(outcome.describe() for outcome in outcomes.values()),
+    )

@@ -1,0 +1,49 @@
+"""F1 — Figure 1: NA-located resolvers measured from the Ohio EC2 instance.
+
+The paper's body figure: response-time + ping distributions per resolver.
+Shape assertions: mainstream resolvers cluster at the top, the quad9 /
+he.net / controld cluster leads, ODoH targets and the variable unicast
+tail sit at the bottom, and ping is always well below the DoH time.
+"""
+
+from repro.analysis.figures import paper_figure
+from repro.analysis.render import render_boxplot_rows
+from repro.catalog.browsers import mainstream_hostnames
+from benchmarks.conftest import print_artifact
+
+
+def test_figure1_na_resolvers_from_ohio(benchmark, study_store):
+    panels = benchmark(
+        paper_figure, study_store, "figure1", mainstream_hostnames()
+    )
+    rows = panels["ec2-ohio"]
+    populated = [row for row in rows if row.dns_stats is not None]
+    order = [row.resolver for row in populated]
+
+    # The paper's top cluster from Ohio: Quad9, he.net, ControlD ahead of
+    # Google and Cloudflare.
+    assert order.index("dns9.quad9.net") < order.index("dns.google")
+    assert order.index("ordns.he.net") < order.index("dns.google")
+    assert order.index("freedns.controld.com") < order.index("dns.google")
+    assert order.index("freedns.controld.com") < order.index("security.cloudflare-dns.com")
+
+    # Mainstream resolvers as a group beat the non-mainstream group.
+    mainstream = set(mainstream_hostnames())
+    main_medians = [r.dns_stats.median for r in populated if r.resolver in mainstream]
+    other_medians = [r.dns_stats.median for r in populated if r.resolver not in mainstream]
+    assert sorted(main_medians)[len(main_medians) // 2] < sorted(other_medians)[len(other_medians) // 2]
+
+    # ODoH targets are in the slower half (relay penalty).
+    slow_half = set(order[len(order) // 2:])
+    assert "odoh-target.alekberg.net" in slow_half
+
+    # Ping is well below the DoH response time for every resolver that
+    # answers ICMP (the fresh-connection handshakes dominate).
+    for row in populated:
+        if row.ping_stats is not None:
+            assert row.ping_stats.median < row.dns_stats.median
+
+    print_artifact(
+        "Figure 1: NA resolvers from EC2 Ohio",
+        render_boxplot_rows(rows, include_ping=False),
+    )

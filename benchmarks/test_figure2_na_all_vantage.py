@@ -1,0 +1,58 @@
+"""F2 — Figure 2: NA-located resolvers from all four vantage points.
+
+Shape assertions: mainstream anycast stays fast from every vantage point;
+home and Ohio medians nearly coincide (same metro region, modest access
+penalty); unicast NA resolvers degrade sharply from Frankfurt and Seoul.
+"""
+
+from repro.analysis.figures import paper_figure
+from repro.analysis.render import render_boxplot_rows
+from repro.analysis.response_times import resolver_medians
+from repro.catalog.browsers import mainstream_hostnames
+from repro.experiments.campaigns import HOME_VANTAGE_NAMES
+from benchmarks.conftest import print_artifact
+
+UNICAST_NA = ("kronos.plan9-dns.com", "dohtrial.att.net", "doh.safesurfer.io")
+
+
+def test_figure2_na_resolvers_all_vantages(benchmark, study_store):
+    panels = benchmark(
+        paper_figure, study_store, "figure2", mainstream_hostnames(),
+        home_vantages=HOME_VANTAGE_NAMES,
+    )
+    assert set(panels) == {"home-pooled", "ec2-ohio", "ec2-frankfurt", "ec2-seoul"}
+
+    medians = {
+        vantage: {
+            row.resolver: row.dns_stats.median
+            for row in rows if row.dns_stats is not None
+        }
+        for vantage, rows in panels.items()
+    }
+
+    # Mainstream anycast is fast from every vantage point.
+    for vantage in ("ec2-ohio", "ec2-frankfurt", "ec2-seoul"):
+        assert medians[vantage]["dns.google"] < 80.0, vantage
+        assert medians[vantage]["security.cloudflare-dns.com"] < 80.0, vantage
+
+    # Unicast NA resolvers pay distance from Frankfurt and Seoul.  (The
+    # factor is smaller for west-coast deployments like safesurfer, which
+    # are already ~50 ms RTT from Ohio; 1.8x is the conservative bound.)
+    for hostname in UNICAST_NA:
+        assert medians["ec2-frankfurt"][hostname] > 1.8 * medians["ec2-ohio"][hostname]
+        assert medians["ec2-seoul"][hostname] > 1.8 * medians["ec2-ohio"][hostname]
+
+    # Paper: "median resolver response times are almost identical for the
+    # home network and Ohio EC2 measurements" (same region; home adds a
+    # bounded access premium, not a different regime).
+    shared = set(medians["home-pooled"]) & set(medians["ec2-ohio"])
+    premiums = [medians["home-pooled"][h] - medians["ec2-ohio"][h] for h in shared]
+    premiums.sort()
+    median_premium = premiums[len(premiums) // 2]
+    assert 0.0 < median_premium < 60.0
+
+    for vantage in ("home-pooled", "ec2-ohio", "ec2-frankfurt", "ec2-seoul"):
+        print_artifact(
+            f"Figure 2 / {vantage} (NA resolvers)",
+            render_boxplot_rows(panels[vantage], include_ping=False),
+        )

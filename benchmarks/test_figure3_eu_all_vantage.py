@@ -1,0 +1,58 @@
+"""F3 — Figure 3: EU-located resolvers from all four vantage points.
+
+Shape assertions: EU unicast resolvers are fast from Frankfurt and slow
+from Chicago/Ohio/Seoul; the paper's Frankfurt winner (dns.brahma.world)
+beats Cloudflare locally; consistency is better from Frankfurt (the
+paper: "more consistent performance for resolvers located in Europe").
+"""
+
+from repro.analysis.figures import paper_figure
+from repro.analysis.render import render_boxplot_rows
+from repro.catalog.browsers import mainstream_hostnames
+from repro.catalog.resolvers import entries_by_region
+from repro.experiments.campaigns import HOME_VANTAGE_NAMES
+from benchmarks.conftest import print_artifact
+
+
+def test_figure3_eu_resolvers_all_vantages(benchmark, study_store):
+    panels = benchmark(
+        paper_figure, study_store, "figure3", mainstream_hostnames(),
+        home_vantages=HOME_VANTAGE_NAMES,
+    )
+    medians = {
+        vantage: {
+            row.resolver: row.dns_stats.median
+            for row in rows if row.dns_stats is not None
+        }
+        for vantage, rows in panels.items()
+    }
+
+    eu_unicast = [
+        entry.hostname
+        for entry in entries_by_region("EU")
+        if not entry.anycast and not entry.mainstream
+    ]
+
+    # Local advantage: every EU unicast resolver with data is faster from
+    # Frankfurt than from Seoul, and faster from Frankfurt than from Ohio.
+    for hostname in eu_unicast:
+        if hostname in medians["ec2-frankfurt"] and hostname in medians["ec2-seoul"]:
+            assert medians["ec2-frankfurt"][hostname] < medians["ec2-seoul"][hostname], hostname
+        if hostname in medians["ec2-frankfurt"] and hostname in medians["ec2-ohio"]:
+            assert medians["ec2-frankfurt"][hostname] < medians["ec2-ohio"][hostname], hostname
+
+    # The paper's Frankfurt winner.
+    assert (
+        medians["ec2-frankfurt"]["dns.brahma.world"]
+        < medians["ec2-frankfurt"]["security.cloudflare-dns.com"]
+    )
+
+    # Reference rows (mainstream + he.net) appear in the EU panels too.
+    assert "ordns.he.net" in medians["ec2-frankfurt"]
+    assert "dns.google" in medians["ec2-frankfurt"]
+
+    for vantage in ("ec2-frankfurt", "ec2-seoul"):
+        print_artifact(
+            f"Figure 3 / {vantage} (EU resolvers)",
+            render_boxplot_rows(panels[vantage], include_ping=False),
+        )

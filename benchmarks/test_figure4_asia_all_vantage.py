@@ -1,0 +1,63 @@
+"""F4 — Figure 4: Asia-located resolvers from all four vantage points.
+
+Shape assertions: Asian unicast resolvers are fast from Seoul and slow
+from everywhere else; the paper's Seoul winner (dns.alidns.com) beats
+Quad9, Google and Cloudflare from Seoul.
+"""
+
+from repro.analysis.figures import paper_figure
+from repro.analysis.render import render_boxplot_rows
+from repro.catalog.browsers import mainstream_hostnames
+from repro.catalog.resolvers import entries_by_region
+from repro.experiments.campaigns import HOME_VANTAGE_NAMES
+from benchmarks.conftest import print_artifact
+
+
+def test_figure4_asia_resolvers_all_vantages(benchmark, study_store):
+    panels = benchmark(
+        paper_figure, study_store, "figure4", mainstream_hostnames(),
+        home_vantages=HOME_VANTAGE_NAMES,
+    )
+    medians = {
+        vantage: {
+            row.resolver: row.dns_stats.median
+            for row in rows if row.dns_stats is not None
+        }
+        for vantage, rows in panels.items()
+    }
+
+    asia_unicast = [
+        entry.hostname
+        for entry in entries_by_region("AS")
+        if not entry.anycast
+    ]
+    # Mumbai sits nearly equidistant (in inflated fiber-miles) from Seoul
+    # and Frankfurt, so the Seoul-vs-Frankfurt comparison is not meaningful
+    # for it; every East/Southeast-Asian resolver must show the local edge.
+    south_asia = {"dns.therifleman.name"}
+    for hostname in asia_unicast:
+        seoul = medians["ec2-seoul"].get(hostname)
+        frankfurt = medians["ec2-frankfurt"].get(hostname)
+        ohio = medians["ec2-ohio"].get(hostname)
+        if seoul is not None and frankfurt is not None and hostname not in south_asia:
+            assert seoul < frankfurt, hostname
+        if seoul is not None and ohio is not None and hostname not in south_asia:
+            assert seoul < ohio, hostname
+
+    # The paper's Seoul winner: dns.alidns.com beats the big three.
+    seoul = medians["ec2-seoul"]
+    assert seoul["dns.alidns.com"] < seoul["dns.quad9.net"]
+    assert seoul["dns.alidns.com"] < seoul["dns.google"]
+    assert seoul["dns.alidns.com"] < seoul["security.cloudflare-dns.com"]
+
+    # From home (Chicago) every Asian unicast resolver is slow (>150 ms).
+    for hostname in asia_unicast:
+        value = medians["home-pooled"].get(hostname)
+        if value is not None:
+            assert value > 150.0, hostname
+
+    for vantage in ("ec2-seoul", "ec2-ohio"):
+        print_artifact(
+            f"Figure 4 / {vantage} (Asia resolvers)",
+            render_boxplot_rows(panels[vantage], include_ping=False),
+        )

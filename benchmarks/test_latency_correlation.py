@@ -1,0 +1,41 @@
+"""C1 — §3.1: the relationship between network latency and response time.
+
+The paper pairs every DNS measurement with a ping precisely to ask
+"whether there was a consistent relationship between high query response
+times and network latency".  On the substrate the relationship must be
+strong and structured:
+
+* DNS and ping medians correlate strongly across resolvers (distance
+  dominates fresh-connection DoH);
+* the typical DNS/ping multiple sits near 3 (TCP + TLS 1.3 + HTTP);
+* the outliers are exactly the resolvers whose latency does NOT explain
+  their response time — slow frontends like doh.ffmuc.net.
+"""
+
+from repro.analysis.correlation import latency_correlation
+from benchmarks.conftest import print_artifact
+
+
+def test_ping_vs_dns_correlation(benchmark, study_store):
+    def run():
+        return {
+            vantage: latency_correlation(study_store, vantage)
+            for vantage in ("ec2-ohio", "ec2-frankfurt", "ec2-seoul")
+        }
+
+    correlations = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = []
+    for vantage, correlation in correlations.items():
+        # Strong, consistent relationship from every vantage point.
+        assert correlation.pearson_r > 0.8, vantage
+        assert correlation.spearman_rho > 0.8, vantage
+        # Fresh DoH ≈ 3 x RTT plus processing: the multiple lands in [2.5, 5].
+        assert 2.5 <= correlation.median_rtt_multiple <= 5.0, vantage
+        lines.append(correlation.describe())
+
+    # From Frankfurt, ffmuc's ~70 ms median on a ~5 ms ping makes it a
+    # canonical "latency does not explain it" outlier.
+    frankfurt_outliers = {r for r, _p, _d in correlations["ec2-frankfurt"].outliers()}
+    assert "doh.ffmuc.net" in frankfurt_outliers
+
+    print_artifact("C1: ping vs DNS response-time relationship", "\n".join(lines))

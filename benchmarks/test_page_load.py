@@ -1,0 +1,101 @@
+"""W1 — Extension: resolver choice and web page load time.
+
+The paper's limitations section defers the application-performance
+question; this bench answers it on the substrate (in the spirit of
+Hounsel et al. and Otto et al.): load a nested multi-domain page through
+a near anycast resolver and a far unicast resolver, cold and warm.
+
+Shape assertions:
+
+* cold PLT through the far resolver exceeds the near one by hundreds of
+  milliseconds (every newly discovered domain pays the resolver RTT);
+* warm PLT (cached stub, pooled connections) is nearly independent of the
+  resolver — the paper's caching argument, applied to applications;
+* DNS time on the cold load scales with the resolver's distance.
+"""
+
+import random
+
+import pytest
+
+from repro.catalog.resolvers import CATALOG
+from repro.experiments.world import build_world
+from repro.webload import (
+    PageLoader,
+    StubResolver,
+    StubResolverConfig,
+    attach_web_servers,
+    news_site_page,
+)
+from repro.webload.world import register_page
+from benchmarks.conftest import print_artifact
+
+NEAR = "dns.google"
+FAR = "dns.twnic.tw"
+THIRD_PARTIES = [
+    "host1.example-sites.net",
+    "host2.example-sites.net",
+    "host3.example-sites.net",
+]
+
+
+@pytest.fixture(scope="module")
+def web_world():
+    catalog = [entry for entry in CATALOG if entry.hostname in (NEAR, FAR)]
+    world = build_world(seed=71, catalog=catalog)
+    servers = attach_web_servers(world, example_hosts=len(THIRD_PARTIES))
+    page = news_site_page("google.com", THIRD_PARTIES)
+    register_page(servers, page)
+    return world, page
+
+
+def load_twice(world, page, resolver):
+    host = world.vantage("ec2-ohio").host
+    deployment = world.deployment(resolver)
+    stub = StubResolver(host, deployment.service_ip, resolver,
+                        StubResolverConfig(), rng=random.Random(5))
+    loader = PageLoader(host, stub)
+    results = []
+    loader.load(page, results.append)
+    world.network.run()
+    loader.load(page, results.append)
+    world.network.run()
+    loader.close()
+    stub.close()
+    world.network.run()
+    return results
+
+
+def test_page_load_vs_resolver_choice(benchmark, web_world):
+    world, page = web_world
+
+    def run():
+        return {
+            NEAR: load_twice(world, page, NEAR),
+            FAR: load_twice(world, page, FAR),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    near_cold, near_warm = results[NEAR]
+    far_cold, far_warm = results[FAR]
+    assert all(r.success for r in (near_cold, near_warm, far_cold, far_warm))
+
+    # Cold: the far resolver's lookups land on the discovery critical path.
+    assert far_cold.plt_ms > near_cold.plt_ms + 300.0
+    assert far_cold.dns_total_ms > near_cold.dns_total_ms * 4
+
+    # Warm: resolver choice stops mattering (everything cached/pooled).
+    assert far_warm.dns_lookups == 0 and near_warm.dns_lookups == 0
+    assert abs(far_warm.plt_ms - near_warm.plt_ms) < 0.35 * near_warm.plt_ms
+
+    print_artifact(
+        "W1: page load time vs resolver choice (Ohio vantage)",
+        "\n".join(
+            [
+                f"{NEAR:<18} cold {near_cold.plt_ms:7.1f} ms "
+                f"(DNS {near_cold.dns_total_ms:6.1f}) | warm {near_warm.plt_ms:7.1f} ms",
+                f"{FAR:<18} cold {far_cold.plt_ms:7.1f} ms "
+                f"(DNS {far_cold.dns_total_ms:6.1f}) | warm {far_warm.plt_ms:7.1f} ms",
+            ]
+        ),
+    )

@@ -1,0 +1,32 @@
+"""T1 — Table 1: the browser / mainstream-resolver matrix.
+
+Static data; the benchmark times table construction + rendering and the
+assertions pin the matrix to the paper's rows exactly.
+"""
+
+from repro.analysis.render import render_table
+from repro.analysis.tables import table1_rows
+from benchmarks.conftest import print_artifact
+
+
+def test_table1_browser_matrix(benchmark):
+    header, rows = benchmark(table1_rows)
+    matrix = {row[0]: dict(zip(header[1:], row[1:])) for row in rows}
+
+    # Paper Table 1, row by row.
+    assert matrix["Chrome"] == {
+        "Cloudflare": "yes", "Google": "yes", "Quad9": "yes",
+        "NextDNS": "yes", "CleanBrowsing": "yes", "OpenDNS": "",
+    }
+    assert matrix["Firefox"] == {
+        "Cloudflare": "yes", "Google": "", "Quad9": "",
+        "NextDNS": "yes", "CleanBrowsing": "", "OpenDNS": "",
+    }
+    assert matrix["Edge"] == {provider: "yes" for provider in header[1:]}
+    assert matrix["Opera"] == {
+        "Cloudflare": "yes", "Google": "yes", "Quad9": "",
+        "NextDNS": "", "CleanBrowsing": "", "OpenDNS": "",
+    }
+    assert matrix["Brave"] == {provider: "yes" for provider in header[1:]}
+
+    print_artifact("Table 1 (browser resolver choices)", render_table(header, rows))

@@ -1,0 +1,56 @@
+"""T2 — Table 2: Asian non-mainstream resolvers, Seoul vs Frankfurt medians.
+
+Paper values (ms):
+
+    antivirus.bebasid.com   99 / 380
+    dns.twnic.tw            59 / 290
+    dnslow.me               29 / 240
+    jp.tiar.app             39 / 250
+    public.dns.iij.jp     39.5 / 250
+
+We reproduce the construction (largest Seoul-to-Frankfurt median gaps
+among Asian non-mainstream resolvers) and assert the shape: every listed
+resolver is several times faster from Seoul, with gaps in the paper's
+order of magnitude.
+"""
+
+from repro.analysis.render import render_delta_table
+from repro.analysis.tables import delta_table_as_text_rows, table2_rows
+from benchmarks.conftest import print_artifact
+
+PAPER_ROWS = {
+    "antivirus.bebasid.com": (99.0, 380.0),
+    "dns.twnic.tw": (59.0, 290.0),
+    "dnslow.me": (29.0, 240.0),
+    "jp.tiar.app": (39.0, 250.0),
+    "public.dns.iij.jp": (39.5, 250.0),
+}
+
+
+def test_table2_asia_vantage_deltas(benchmark, study_store):
+    deltas = benchmark(table2_rows, study_store)
+    assert len(deltas) == 5
+
+    for delta in deltas:
+        # Local (Seoul) always beats remote (Frankfurt), by a wide margin.
+        assert delta.near_median_ms < delta.far_median_ms
+        assert delta.ratio > 2.0, delta.resolver
+        # All winners are genuinely Asian unicast-style deployments with
+        # Seoul medians under ~150 ms and Frankfurt medians over ~250 ms.
+        assert delta.near_median_ms < 150.0, delta.resolver
+        assert delta.far_median_ms > 250.0, delta.resolver
+
+    # Overlap with the paper's top-5 list (placements are calibrated from
+    # operator locations, so most of the same resolvers surface).
+    ours = {delta.resolver for delta in deltas}
+    assert len(ours & set(PAPER_ROWS)) >= 2
+
+    body = render_delta_table(
+        "Table 2 (measured): Asian non-mainstream resolvers",
+        "Seoul", "Frankfurt", delta_table_as_text_rows(deltas),
+    )
+    paper = "\n".join(
+        f"  paper: {name:<24} {near:>5.0f} / {far:.0f}"
+        for name, (near, far) in PAPER_ROWS.items()
+    )
+    print_artifact("Table 2 (Seoul vs Frankfurt)", body + "\n" + paper)

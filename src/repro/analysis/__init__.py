@@ -1,0 +1,67 @@
+"""Analysis of measurement results: the paper's §4 computations.
+
+Takes a :class:`~repro.core.results.ResultStore` and produces the paper's
+artifacts — availability counts and error breakdowns, per-resolver
+response-time distributions (the figures), median tables across vantage
+points (Tables 2 and 3), and the browser matrix (Table 1) — plus text
+renderers for all of them.
+"""
+
+from repro.analysis.stats import BoxplotStats, median, quantile, summarize
+from repro.analysis.availability import (
+    AvailabilityReport,
+    availability_report,
+    per_resolver_availability,
+    unresponsive_resolvers,
+)
+from repro.analysis.response_times import (
+    VantageDelta,
+    largest_vantage_deltas,
+    local_winners,
+    max_median_by_vantage,
+    ping_durations,
+    query_durations,
+    resolver_median,
+    resolver_medians,
+)
+from repro.analysis.figures import FigureRow, figure_rows, paper_figure
+from repro.analysis.tables import table1_rows, table2_rows, table3_rows
+from repro.analysis.render import render_boxplot_rows, render_table
+from repro.analysis.correlation import LatencyCorrelation, latency_correlation
+from repro.analysis.longitudinal import (
+    DriftReport,
+    drift_report,
+    drift_reports_over_time,
+)
+
+__all__ = [
+    "AvailabilityReport",
+    "BoxplotStats",
+    "DriftReport",
+    "FigureRow",
+    "LatencyCorrelation",
+    "drift_report",
+    "drift_reports_over_time",
+    "latency_correlation",
+    "VantageDelta",
+    "availability_report",
+    "figure_rows",
+    "largest_vantage_deltas",
+    "local_winners",
+    "max_median_by_vantage",
+    "median",
+    "paper_figure",
+    "per_resolver_availability",
+    "ping_durations",
+    "quantile",
+    "query_durations",
+    "render_boxplot_rows",
+    "render_table",
+    "resolver_median",
+    "resolver_medians",
+    "summarize",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "unresponsive_resolvers",
+]

@@ -1,0 +1,169 @@
+"""Longitudinal analysis: did resolver performance drift over time?
+
+The paper re-measured for 1–3 days each month through May 2024 "to ensure
+that resolver performance did not change drastically since October 2023".
+This module compares a baseline campaign against later re-check campaigns,
+flagging resolvers whose median response time or availability moved beyond
+a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.response_times import resolver_medians
+from repro.analysis.stats import median
+from repro.core.results import ResultStore
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class ResolverDrift:
+    """One resolver's change between two campaigns."""
+
+    resolver: str
+    base_median_ms: float
+    later_median_ms: float
+    base_availability: float
+    later_availability: float
+
+    @property
+    def latency_ratio(self) -> float:
+        if self.base_median_ms <= 0:
+            return float("inf")
+        return self.later_median_ms / self.base_median_ms
+
+    @property
+    def availability_delta(self) -> float:
+        return self.later_availability - self.base_availability
+
+    def drifted(self, latency_factor: float, availability_drop: float) -> bool:
+        ratio = self.latency_ratio
+        if ratio > latency_factor or ratio < 1.0 / latency_factor:
+            return True
+        return self.availability_delta < -availability_drop
+
+
+@dataclass
+class DriftReport:
+    """Comparison of one later campaign against the baseline."""
+
+    base_campaign: str
+    later_campaign: str
+    per_resolver: List[ResolverDrift] = field(default_factory=list)
+    latency_factor: float = 2.0
+    availability_drop: float = 0.2
+
+    @property
+    def drifted(self) -> List[ResolverDrift]:
+        return [
+            drift
+            for drift in self.per_resolver
+            if drift.drifted(self.latency_factor, self.availability_drop)
+        ]
+
+    @property
+    def stable_fraction(self) -> float:
+        if not self.per_resolver:
+            return 1.0
+        return 1.0 - len(self.drifted) / len(self.per_resolver)
+
+    @property
+    def median_latency_ratio(self) -> float:
+        ratios = [d.latency_ratio for d in self.per_resolver if d.base_median_ms > 0]
+        return median(ratios) if ratios else 1.0
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.later_campaign} vs {self.base_campaign}: "
+            f"{self.stable_fraction:.0%} of {len(self.per_resolver)} resolvers stable "
+            f"(median latency ratio {self.median_latency_ratio:.2f})",
+        ]
+        for drift in sorted(self.drifted, key=lambda d: -d.latency_ratio):
+            lines.append(
+                f"  DRIFT {drift.resolver}: {drift.base_median_ms:.0f} -> "
+                f"{drift.later_median_ms:.0f} ms "
+                f"(avail {drift.base_availability:.0%} -> {drift.later_availability:.0%})"
+            )
+        return "\n".join(lines)
+
+
+def campaigns_in_order(store: ResultStore) -> List[str]:
+    """Campaign names ordered by their first record's start time."""
+    first_seen: Dict[str, float] = {}
+    for record in store:
+        if record.campaign not in first_seen or record.started_at_ms < first_seen[record.campaign]:
+            first_seen[record.campaign] = record.started_at_ms
+    return [name for name, _t in sorted(first_seen.items(), key=lambda kv: kv[1])]
+
+
+def _campaign_view(store: ResultStore, campaign: str) -> ResultStore:
+    view = ResultStore()
+    view.extend(record for record in store if record.campaign == campaign)
+    return view
+
+
+def _availability(view: ResultStore, resolver: str, vantage: Optional[str]) -> float:
+    records = view.filter(kind="dns_query", resolver=resolver, vantage=vantage)
+    if not records:
+        return 0.0
+    return sum(1 for record in records if record.success) / len(records)
+
+
+def drift_report(
+    store: ResultStore,
+    base_campaign: str,
+    later_campaign: str,
+    vantage: Optional[str] = None,
+    latency_factor: float = 2.0,
+    availability_drop: float = 0.2,
+) -> DriftReport:
+    """Compare ``later_campaign`` against ``base_campaign``.
+
+    Resolvers present in only one of the two campaigns are skipped (no
+    basis for comparison).  Raises :class:`AnalysisError` when either
+    campaign has no records at all.
+    """
+    base_view = _campaign_view(store, base_campaign)
+    later_view = _campaign_view(store, later_campaign)
+    if not len(base_view):
+        raise AnalysisError(f"no records for baseline campaign {base_campaign!r}")
+    if not len(later_view):
+        raise AnalysisError(f"no records for campaign {later_campaign!r}")
+
+    base_medians = resolver_medians(base_view, vantage=vantage)
+    later_medians = resolver_medians(later_view, vantage=vantage)
+    report = DriftReport(
+        base_campaign=base_campaign,
+        later_campaign=later_campaign,
+        latency_factor=latency_factor,
+        availability_drop=availability_drop,
+    )
+    for resolver in sorted(set(base_medians) & set(later_medians)):
+        report.per_resolver.append(
+            ResolverDrift(
+                resolver=resolver,
+                base_median_ms=base_medians[resolver],
+                later_median_ms=later_medians[resolver],
+                base_availability=_availability(base_view, resolver, vantage),
+                later_availability=_availability(later_view, resolver, vantage),
+            )
+        )
+    return report
+
+
+def drift_reports_over_time(
+    store: ResultStore,
+    vantage: Optional[str] = None,
+    latency_factor: float = 2.0,
+) -> List[DriftReport]:
+    """A report for every campaign after the first, in time order."""
+    ordered = campaigns_in_order(store)
+    if len(ordered) < 2:
+        raise AnalysisError("need at least two campaigns for drift analysis")
+    base = ordered[0]
+    return [
+        drift_report(store, base, later, vantage=vantage, latency_factor=latency_factor)
+        for later in ordered[1:]
+    ]

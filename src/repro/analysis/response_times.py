@@ -1,0 +1,171 @@
+"""Response-time analysis: medians, vantage deltas, local winners, maxima.
+
+These functions back the paper's §4 comparisons:
+
+* per-resolver response-time distributions and medians per vantage point;
+* the resolvers with the largest median difference between a local and a
+  remote vantage point (Tables 2 and 3);
+* local non-mainstream winners — resolvers that beat specific mainstream
+  resolvers from specific vantage points;
+* the maximum per-resolver median seen from each vantage point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import median
+from repro.core.results import ResultStore
+
+
+def query_durations(
+    store: ResultStore, vantage: Optional[str] = None, resolver: Optional[str] = None
+) -> List[float]:
+    """Successful DNS query durations (ms) matching the criteria."""
+    return store.durations_ms(kind="dns_query", vantage=vantage, resolver=resolver)
+
+
+def ping_durations(
+    store: ResultStore, vantage: Optional[str] = None, resolver: Optional[str] = None
+) -> List[float]:
+    """Successful ping RTTs (ms) matching the criteria."""
+    return store.durations_ms(kind="ping", vantage=vantage, resolver=resolver)
+
+
+def resolver_median(store: ResultStore, resolver: str, vantage: Optional[str] = None) -> Optional[float]:
+    """Median successful response time, or None with no successes."""
+    durations = query_durations(store, vantage=vantage, resolver=resolver)
+    return median(durations) if durations else None
+
+
+def resolver_medians(
+    store: ResultStore,
+    vantage: Optional[str] = None,
+    resolvers: Optional[Iterable[str]] = None,
+) -> Dict[str, float]:
+    """Median response time per resolver (resolvers with data only)."""
+    wanted = set(resolvers) if resolvers is not None else None
+    out: Dict[str, float] = {}
+    for resolver, records in store.by_resolver(kind="dns_query", vantage=vantage, success=True).items():
+        if wanted is not None and resolver not in wanted:
+            continue
+        durations = [r.duration_ms for r in records if r.duration_ms is not None]
+        if durations:
+            out[resolver] = median(durations)
+    return out
+
+
+def max_median_by_vantage(store: ResultStore, vantages: Sequence[str]) -> Dict[str, Tuple[str, float]]:
+    """Per vantage point: the resolver with the highest median and its value.
+
+    Reproduces the paper's "maximum response time from a resolver was X ms"
+    statements (which are maxima over per-resolver medians).
+    """
+    out: Dict[str, Tuple[str, float]] = {}
+    for vantage in vantages:
+        medians = resolver_medians(store, vantage=vantage)
+        if medians:
+            worst = max(medians.items(), key=lambda item: item[1])
+            out[vantage] = worst
+    return out
+
+
+@dataclass(frozen=True)
+class VantageDelta:
+    """One row of Table 2 / Table 3."""
+
+    resolver: str
+    near_vantage: str
+    far_vantage: str
+    near_median_ms: float
+    far_median_ms: float
+
+    @property
+    def delta_ms(self) -> float:
+        return self.far_median_ms - self.near_median_ms
+
+    @property
+    def ratio(self) -> float:
+        return self.far_median_ms / self.near_median_ms if self.near_median_ms else float("inf")
+
+
+def largest_vantage_deltas(
+    store: ResultStore,
+    resolvers: Iterable[str],
+    near_vantage: str,
+    far_vantage: str,
+    top_n: int = 5,
+) -> List[VantageDelta]:
+    """Resolvers with the largest (far − near) median difference.
+
+    This is how the paper builds Tables 2 and 3: take the resolvers of a
+    region, compare their medians from the local vantage point against a
+    remote one, and report the biggest gaps.
+    """
+    near = resolver_medians(store, vantage=near_vantage, resolvers=resolvers)
+    far = resolver_medians(store, vantage=far_vantage, resolvers=resolvers)
+    deltas = [
+        VantageDelta(
+            resolver=resolver,
+            near_vantage=near_vantage,
+            far_vantage=far_vantage,
+            near_median_ms=near[resolver],
+            far_median_ms=far[resolver],
+        )
+        for resolver in near
+        if resolver in far
+    ]
+    deltas.sort(key=lambda d: d.delta_ms, reverse=True)
+    return deltas[:top_n]
+
+
+@dataclass(frozen=True)
+class LocalWinner:
+    """A non-mainstream resolver beating mainstream resolvers somewhere."""
+
+    resolver: str
+    vantage: str
+    median_ms: float
+    beats: Tuple[str, ...]  # mainstream resolvers it outperformed
+
+
+def local_winners(
+    store: ResultStore,
+    vantage: str,
+    candidates: Iterable[str],
+    mainstream: Iterable[str],
+) -> List[LocalWinner]:
+    """Candidates whose median beats at least one mainstream resolver."""
+    mainstream = list(mainstream)
+    medians = resolver_medians(store, vantage=vantage)
+    winners = []
+    for candidate in candidates:
+        candidate_median = medians.get(candidate)
+        if candidate_median is None:
+            continue
+        beaten = tuple(
+            m for m in mainstream
+            if m in medians and candidate_median < medians[m]
+        )
+        if beaten:
+            winners.append(
+                LocalWinner(
+                    resolver=candidate,
+                    vantage=vantage,
+                    median_ms=candidate_median,
+                    beats=beaten,
+                )
+            )
+    winners.sort(key=lambda w: w.median_ms)
+    return winners
+
+
+def variability(store: ResultStore, resolver: str, vantage: Optional[str] = None) -> Optional[float]:
+    """IQR of a resolver's response times (the paper's variability notion)."""
+    durations = query_durations(store, vantage=vantage, resolver=resolver)
+    if len(durations) < 4:
+        return None
+    from repro.analysis.stats import quantile
+
+    return quantile(durations, 0.75) - quantile(durations, 0.25)

@@ -1,0 +1,139 @@
+"""Scraping the DNSCrypt public-resolvers list.
+
+The study built its measurement set by scraping the DNSCrypt project's
+``public-resolvers.md``: a markdown document where each server is a
+``## name`` section with a description and an ``sdns://`` stamp.  This
+module parses that format into candidate resolvers and filters for the
+DoH servers the study measures — the same pipeline, reproducible against
+any snapshot of the list.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.catalog.stamps import PROTOCOL_DOH, Stamp, StampError, decode_stamp
+
+_SECTION_RE = re.compile(r"^##\s+(?P<name>\S.*)$")
+_STAMP_RE = re.compile(r"sdns://[A-Za-z0-9_-]+")
+
+
+@dataclass(frozen=True)
+class ScrapedResolver:
+    """One candidate from the public list."""
+
+    list_name: str
+    description: str
+    stamp: Stamp
+    stamp_uri: str
+
+    @property
+    def hostname(self) -> str:
+        return self.stamp.hostname
+
+    @property
+    def is_doh(self) -> bool:
+        return self.stamp.protocol == PROTOCOL_DOH
+
+
+def parse_public_resolvers(markdown: str) -> List[ScrapedResolver]:
+    """Parse a ``public-resolvers.md``-style document.
+
+    Sections without a decodable stamp are skipped (the real list contains
+    anonymized-relay and odoh sections this study does not measure),
+    mirroring how a scraper must tolerate malformed rows.
+    """
+    resolvers: List[ScrapedResolver] = []
+    current_name: Optional[str] = None
+    description_lines: List[str] = []
+
+    def flush(stamp_uri: Optional[str]) -> None:
+        if current_name is None or stamp_uri is None:
+            return
+        try:
+            stamp = decode_stamp(stamp_uri)
+        except StampError:
+            return
+        resolvers.append(
+            ScrapedResolver(
+                list_name=current_name,
+                description=" ".join(description_lines).strip(),
+                stamp=stamp,
+                stamp_uri=stamp_uri,
+            )
+        )
+
+    pending_stamp: Optional[str] = None
+    for line in markdown.splitlines():
+        section = _SECTION_RE.match(line)
+        if section:
+            flush(pending_stamp)
+            current_name = section.group("name").strip()
+            description_lines = []
+            pending_stamp = None
+            continue
+        stamp_match = _STAMP_RE.search(line)
+        if stamp_match and pending_stamp is None:
+            pending_stamp = stamp_match.group(0)
+            continue
+        if current_name is not None and line.strip():
+            description_lines.append(line.strip())
+    flush(pending_stamp)
+    return resolvers
+
+
+def doh_resolvers(markdown: str) -> List[ScrapedResolver]:
+    """Only the DoH entries with a hostname — the study's selection rule."""
+    return [
+        resolver
+        for resolver in parse_public_resolvers(markdown)
+        if resolver.is_doh and resolver.hostname
+    ]
+
+
+def sample_public_resolvers_md() -> str:
+    """A small in-repo snapshot shaped like the DNSCrypt list.
+
+    Used by tests and examples; real snapshots parse identically.
+    """
+    from repro.catalog.resolvers import CATALOG
+    from repro.catalog.stamps import doh_stamp, encode_stamp
+
+    lines = [
+        "# Public resolvers",
+        "",
+        "A curated list of public DNS servers (excerpt).",
+        "",
+    ]
+    for entry in CATALOG[:12]:
+        stamp = doh_stamp(hostname=entry.hostname)
+        lines.extend(
+            [
+                f"## {entry.hostname.split('.')[0]}",
+                "",
+                f"Operated by {entry.operator}.",
+                "",
+                encode_stamp(stamp),
+                "",
+            ]
+        )
+    # A non-DoH row and a malformed row, as the real list has.
+    lines.extend(
+        [
+            "## legacy-plain",
+            "",
+            "A plain DNS server (not measured by the study).",
+            "",
+            encode_stamp(
+                Stamp(protocol=0x00, props=0, address="198.51.100.7")
+            ),
+            "",
+            "## broken-row",
+            "",
+            "sdns://cnViYmlzaA",  # decodes, but is not a valid stamp payload
+            "",
+        ]
+    )
+    return "\n".join(lines)

@@ -1,0 +1,286 @@
+"""``repro-dns`` — command-line front end for the measurement platform.
+
+Subcommands:
+
+* ``list``    — show the resolver catalog (filter by region/mainstream);
+* ``measure`` — run a measurement campaign over the simulated world and
+  write JSONL results;
+* ``report``  — run the full study and print the paper-vs-measured claim
+  table plus Tables 2/3;
+* ``figure``  — render one of the paper's figures as ASCII boxplots;
+* ``query``   — issue a single DoH query from a vantage point and print a
+  dig-style response.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.analysis.render import render_boxplot_rows, render_table
+from repro.catalog.browsers import mainstream_hostnames
+from repro.catalog.resolvers import CATALOG
+from repro.core.probes import DohProbe, DohProbeConfig
+from repro.core.results import ResultStore
+from repro.core.runner import Campaign, CampaignConfig
+from repro.core.scheduler import MS_PER_HOUR, PeriodicSchedule
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    entries = CATALOG
+    if args.region:
+        entries = [e for e in entries if e.region == args.region]
+    if args.mainstream:
+        entries = [e for e in entries if e.mainstream]
+    header = ("hostname", "region", "operator", "sites", "anycast", "mainstream")
+    rows = [
+        (
+            e.hostname,
+            e.region or "(unlocatable)",
+            e.operator,
+            ",".join(e.cities),
+            "yes" if e.anycast else "",
+            "yes" if e.mainstream else "",
+        )
+        for e in entries
+    ]
+    print(render_table(header, rows))
+    print(f"{len(rows)} resolvers")
+    return 0
+
+
+def _cmd_measure(args: argparse.Namespace) -> int:
+    from repro.experiments.world import build_world
+
+    world = build_world(seed=args.seed)
+    vantages = [world.vantage(name) for name in args.vantage]
+    config = CampaignConfig(
+        name=args.name,
+        schedule=PeriodicSchedule(
+            rounds=args.rounds, interval_ms=args.interval_hours * MS_PER_HOUR
+        ),
+        probe_config=DohProbeConfig(method=args.method),
+        seed=args.seed,
+    )
+    store = Campaign(
+        network=world.network,
+        vantages=vantages,
+        targets=world.targets(args.resolver or None),
+        config=config,
+    ).run()
+    count = store.save_jsonl(args.output)
+    print(f"wrote {count} records to {args.output}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.paper import generate_report
+
+    report = generate_report(
+        home_rounds=args.home_rounds, ec2_rounds=args.ec2_rounds, seed=args.seed
+    )
+    print(report.describe())
+    print()
+    for table in ("table1", "table2", "table3"):
+        print(report.rendered_tables[table])
+        print()
+    if args.output and report.store is not None:
+        report.store.save_jsonl(args.output)
+        print(f"wrote {len(report.store)} records to {args.output}")
+    return 0 if report.holds_count == len(report.claims) else 1
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import paper_figure
+    from repro.experiments.campaigns import HOME_VANTAGE_NAMES, run_study
+    from repro.experiments.world import build_world
+
+    if args.input:
+        store = ResultStore.load_jsonl(args.input)
+    else:
+        world = build_world(seed=args.seed)
+        store = run_study(world, home_rounds=args.rounds, ec2_rounds=args.rounds)
+    panels = paper_figure(
+        store, args.figure, mainstream_hostnames(), home_vantages=HOME_VANTAGE_NAMES
+    )
+    for vantage, rows in panels.items():
+        print(f"=== {args.figure} / {vantage} ===")
+        print(render_boxplot_rows(rows, include_ping=args.ping))
+        print()
+    if args.csv:
+        from repro.analysis.export import figure_rows_to_csv, write_csv
+
+        path = write_csv(figure_rows_to_csv(panels), args.csv)
+        print(f"wrote CSV to {path}")
+    return 0
+
+
+def _cmd_correlate(args: argparse.Namespace) -> int:
+    from repro.analysis.correlation import latency_correlation
+
+    store = ResultStore.load_jsonl(args.input)
+    vantages = args.vantage or sorted({record.vantage for record in store})
+    for vantage in vantages:
+        try:
+            print(latency_correlation(store, vantage).describe())
+        except Exception as exc:  # thin data for this vantage
+            print(f"{vantage}: {exc}")
+    return 0
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from repro.analysis.longitudinal import drift_reports_over_time
+
+    store = ResultStore.load_jsonl(args.input)
+    reports = drift_reports_over_time(store, vantage=args.vantage)
+    stable = True
+    for report in reports:
+        print(report.describe())
+        stable = stable and not report.drifted
+    return 0 if stable else 1
+
+
+def _cmd_stamp(args: argparse.Namespace) -> int:
+    from repro.catalog.resolvers import entry_for
+    from repro.catalog.stamps import decode_stamp, doh_stamp, encode_stamp
+
+    if args.decode:
+        stamp = decode_stamp(args.resolver)
+        print(f"protocol: {stamp.protocol_name}")
+        print(f"hostname: {stamp.hostname or '(none)'}")
+        print(f"address:  {stamp.address or '(none)'}")
+        print(f"path:     {stamp.path or '(none)'}")
+        flags = [
+            name for name, on in (
+                ("dnssec", stamp.dnssec),
+                ("no-logs", stamp.no_logs),
+                ("no-filter", stamp.no_filter),
+            ) if on
+        ]
+        print(f"props:    {', '.join(flags) or '(none)'}")
+        return 0
+    entry = entry_for(args.resolver)
+    print(encode_stamp(doh_stamp(hostname=entry.hostname)))
+    return 0
+
+
+def _cmd_run_config(args: argparse.Namespace) -> int:
+    from repro.core.platform import build_campaign, load_spec
+    from repro.experiments.world import build_world
+
+    spec = load_spec(args.config)
+    world = build_world(seed=spec["seed"])
+    store = build_campaign(world, spec).run()
+    output = args.output or f"{spec['name']}.jsonl"
+    count = store.save_jsonl(output)
+    print(f"campaign {spec['name']!r}: wrote {count} records to {output}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.experiments.world import build_world
+
+    world = build_world(seed=args.seed)
+    vantage = world.vantage(args.vantage)
+    deployment = world.deployment(args.resolver)
+    probe = DohProbe(
+        vantage.host,
+        deployment.service_ip,
+        deployment.hostname,
+        DohProbeConfig(method=args.method),
+        rng=random.Random(args.seed),
+    )
+    outcomes = []
+    probe.query(args.domain, outcomes.append)
+    world.network.run()
+    outcome = outcomes[0]
+    if outcome.success:
+        print(f";; {args.domain} via {args.resolver} from {args.vantage}")
+        print(f";; response time: {outcome.duration_ms:.1f} ms "
+              f"({outcome.http_version}, TLS {outcome.tls_version})")
+        for address in outcome.answers:
+            print(f"{args.domain}.\tA\t{address}")
+        return 0
+    print(f";; FAILED: {outcome.error_class} ({outcome.error_detail})")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dns",
+        description="Encrypted-DNS resolver measurement platform (simulated world)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show the resolver catalog")
+    p_list.add_argument("--region", choices=["NA", "EU", "AS", "OC"])
+    p_list.add_argument("--mainstream", action="store_true")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_measure = sub.add_parser("measure", help="run a measurement campaign")
+    p_measure.add_argument("--name", default="cli-campaign")
+    p_measure.add_argument("--vantage", nargs="+", default=["ec2-ohio"])
+    p_measure.add_argument("--resolver", nargs="*", help="hostnames (default: all)")
+    p_measure.add_argument("--rounds", type=int, default=5)
+    p_measure.add_argument("--interval-hours", type=float, default=8.0)
+    p_measure.add_argument("--method", choices=["POST", "GET"], default="POST")
+    p_measure.add_argument("--seed", type=int, default=0)
+    p_measure.add_argument("--output", default="results.jsonl")
+    p_measure.set_defaults(func=_cmd_measure)
+
+    p_report = sub.add_parser("report", help="full paper-vs-measured report")
+    p_report.add_argument("--home-rounds", type=int, default=12)
+    p_report.add_argument("--ec2-rounds", type=int, default=10)
+    p_report.add_argument("--seed", type=int, default=0)
+    p_report.add_argument("--output", help="also write raw records (JSONL)")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_figure = sub.add_parser("figure", help="render a paper figure")
+    p_figure.add_argument("figure", choices=["figure1", "figure2", "figure3", "figure4"])
+    p_figure.add_argument("--input", help="JSONL results to analyse (else simulate)")
+    p_figure.add_argument("--rounds", type=int, default=8)
+    p_figure.add_argument("--seed", type=int, default=0)
+    p_figure.add_argument("--ping", action="store_true", help="include ping rows")
+    p_figure.add_argument("--csv", help="also export the panels as CSV")
+    p_figure.set_defaults(func=_cmd_figure)
+
+    p_corr = sub.add_parser("correlate", help="ping-vs-DNS relationship from saved results")
+    p_corr.add_argument("--input", required=True, help="JSONL results")
+    p_corr.add_argument("--vantage", nargs="*", help="vantage names (default: all)")
+    p_corr.set_defaults(func=_cmd_correlate)
+
+    p_drift = sub.add_parser("drift", help="longitudinal drift from saved results")
+    p_drift.add_argument("--input", required=True, help="JSONL results with >= 2 campaigns")
+    p_drift.add_argument("--vantage", help="restrict to one vantage")
+    p_drift.set_defaults(func=_cmd_drift)
+
+    p_stamp = sub.add_parser("stamp", help="DNS stamp for a resolver (or decode one)")
+    p_stamp.add_argument("resolver", help="catalog hostname, or an sdns:// URI with --decode")
+    p_stamp.add_argument("--decode", action="store_true")
+    p_stamp.set_defaults(func=_cmd_stamp)
+
+    p_config = sub.add_parser("run-config", help="run a JSON campaign spec")
+    p_config.add_argument("config", help="path to the JSON spec")
+    p_config.add_argument("--output", help="JSONL output (default: <name>.jsonl)")
+    p_config.set_defaults(func=_cmd_run_config)
+
+    p_query = sub.add_parser("query", help="one DoH query, dig-style output")
+    p_query.add_argument("resolver")
+    p_query.add_argument("domain")
+    p_query.add_argument("--vantage", default="ec2-ohio")
+    p_query.add_argument("--method", choices=["POST", "GET"], default="POST")
+    p_query.add_argument("--seed", type=int, default=0)
+    p_query.set_defaults(func=_cmd_query)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,690 @@
+"""Measurement probes: DoH, DoT, Do53 and ICMP ping clients.
+
+Each probe issues one query (or echo) toward a resolver and reports a
+:class:`ProbeOutcome` through a callback.  DoH and DoT probes can operate
+in two modes:
+
+* **fresh** (default, matching the paper's methodology): every query pays
+  TCP + TLS establishment, like a ``dig``-style one-shot client;
+* **reuse**: the probe keeps the connection (and HTTP/2 session) open
+  across queries, which is the connection-reuse regime studied by the
+  related work the paper builds on.
+
+All probes enforce an end-to-end deadline and classify failures via
+:mod:`repro.core.errors_taxonomy`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.errors_taxonomy import ErrorClass, classify_error
+from repro.dnswire.builder import make_query
+from repro.dnswire.message import Message
+from repro.dnswire.types import RCODE_NOERROR, TYPE_A
+from repro.errors import DnsWireError, HttpStatusError, ProbeTimeout
+from repro.httpsim.doh import (
+    DohCodecError,
+    decode_doh_response,
+    encode_doh_request,
+)
+from repro.httpsim.h1 import H1ResponseParser, encode_request
+from repro.httpsim.h2 import H2ClientSession
+from repro.netsim.host import Host
+from repro.netsim.icmp import PingResult, ping
+from repro.netsim.packet import Datagram
+from repro.netsim.sockets import SimTcpConnection, SimUdpSocket
+from repro.resolver.frontends import _LengthPrefixedStream
+from repro.tlssim.handshake import TlsClientConfig, TlsClientConnection
+from repro.tlssim.session import SessionCache
+
+DEFAULT_TIMEOUT_MS = 5000.0
+
+
+@dataclass
+class ProbeOutcome:
+    """Result of one probe."""
+
+    duration_ms: Optional[float]
+    success: bool
+    error_class: Optional[ErrorClass] = None
+    error_detail: Optional[str] = None
+    rcode: Optional[int] = None
+    http_status: Optional[int] = None
+    http_version: Optional[str] = None
+    tls_version: Optional[str] = None
+    response_size: Optional[int] = None
+    connection_reused: bool = False
+    answers: List[str] = field(default_factory=list)
+
+    @classmethod
+    def failure(cls, duration_ms: Optional[float], exc: BaseException) -> "ProbeOutcome":
+        return cls(
+            duration_ms=duration_ms,
+            success=False,
+            error_class=classify_error(exc),
+            error_detail=str(exc),
+        )
+
+
+OutcomeCallback = Callable[[ProbeOutcome], None]
+
+
+class _OneShot:
+    """Ensures a probe completes exactly once, with deadline handling."""
+
+    def __init__(self, loop, timeout_ms: float, on_complete: OutcomeCallback) -> None:
+        self.loop = loop
+        self.started_at = loop.now
+        self.done = False
+        self._on_complete = on_complete
+        self._timer = loop.call_later(timeout_ms, self._timeout)
+        self._cleanup: List[Callable[[], None]] = []
+
+    def add_cleanup(self, fn: Callable[[], None]) -> None:
+        self._cleanup.append(fn)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.loop.now - self.started_at
+
+    def _timeout(self) -> None:
+        self.fail(ProbeTimeout(f"probe exceeded deadline after {self.elapsed_ms:.0f} ms"))
+
+    def finish(self, outcome: ProbeOutcome) -> None:
+        if self.done:
+            return
+        self.done = True
+        self._timer.cancel()
+        for fn in self._cleanup:
+            try:
+                fn()
+            except Exception:
+                pass
+        self._on_complete(outcome)
+
+    def fail(self, exc: BaseException) -> None:
+        self.finish(ProbeOutcome.failure(self.elapsed_ms, exc))
+
+
+# ---------------------------------------------------------------------------
+# DoH
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DohProbeConfig:
+    """Knobs of the DoH probe."""
+
+    method: str = "POST"
+    http_versions: Sequence[str] = ("h2", "http/1.1")
+    tls_versions: Sequence[str] = ("1.3", "1.2")
+    timeout_ms: float = DEFAULT_TIMEOUT_MS
+    reuse_connections: bool = False
+    session_cache: Optional[SessionCache] = None
+    enable_early_data: bool = False
+    doh_path: str = "/dns-query"
+
+
+class DohProbe:
+    """DoH measurement client bound to one vantage host and one resolver."""
+
+    def __init__(
+        self,
+        host: Host,
+        service_ip: str,
+        server_name: str,
+        config: Optional[DohProbeConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.host = host
+        self.service_ip = service_ip
+        self.server_name = server_name
+        self.config = config or DohProbeConfig()
+        self.rng = rng if rng is not None else random.Random(0)
+        self._live_tls: Optional[TlsClientConnection] = None
+        self._live_h2: Optional[H2ClientSession] = None
+        self._live_h1_parser: Optional[H1ResponseParser] = None
+        self._h1_waiters: List[Callable] = []
+
+    @property
+    def _loop(self):
+        assert self.host.network is not None
+        return self.host.network.loop
+
+    # -- public API -----------------------------------------------------------
+
+    def query(
+        self,
+        domain: str,
+        on_complete: OutcomeCallback,
+        qtype: int = TYPE_A,
+    ) -> None:
+        """Measure one DoH query's end-to-end response time."""
+        shot = _OneShot(self._loop, self.config.timeout_ms, on_complete)
+        query = make_query(domain, qtype, msg_id=0, rng=self.rng)
+        dns_wire = query.to_wire()
+        reused = self.config.reuse_connections and self._live_tls is not None
+        if reused:
+            try:
+                self._send_on_live(shot, dns_wire, reused=True)
+            except Exception:
+                # The kept-alive connection died underneath us (server FIN /
+                # idle teardown): fall back to a fresh establishment.
+                self.close()
+                self._establish_then_send(shot, dns_wire)
+        else:
+            self._establish_then_send(shot, dns_wire)
+
+    def close(self) -> None:
+        """Drop any kept-alive connection."""
+        if self._live_tls is not None:
+            self._live_tls.close()
+        self._live_tls = None
+        self._live_h2 = None
+        self._live_h1_parser = None
+
+    # -- connection management ---------------------------------------------------
+
+    def _establish_then_send(self, shot: _OneShot, dns_wire: bytes) -> None:
+        tls_config = TlsClientConfig(
+            versions=tuple(self.config.tls_versions),
+            alpn=tuple(self.config.http_versions),
+            session_cache=self.config.session_cache,
+            enable_early_data=self.config.enable_early_data,
+        )
+
+        def on_tls_established(tls: TlsClientConnection) -> None:
+            if self.config.reuse_connections:
+                self._live_tls = tls
+            self._setup_http(tls)
+            self._send_on_tls(shot, tls, dns_wire, reused=False)
+
+        def on_tcp_established(conn: SimTcpConnection) -> None:
+            if shot.done:
+                conn.close()
+                return
+            tls = TlsClientConnection(
+                conn,
+                self.server_name,
+                tls_config,
+                on_established=on_tls_established,
+                on_error=shot.fail,
+            )
+            if not self.config.reuse_connections:
+                shot.add_cleanup(tls.close)
+
+        # The TCP connect deadline sits just inside the probe deadline so a
+        # never-answered SYN classifies as a connection-establishment
+        # failure rather than a generic probe timeout.
+        SimTcpConnection.connect(
+            self.host,
+            self.service_ip,
+            443,
+            on_tcp_established,
+            on_error=shot.fail,
+            timeout_ms=max(1.0, self.config.timeout_ms - 1.0),
+        )
+
+    def _setup_http(self, tls: TlsClientConnection) -> None:
+        if tls.negotiated_alpn == "h2" or (
+            tls.negotiated_alpn is None and "h2" in self.config.http_versions
+        ):
+            session = H2ClientSession(send=tls.send_application, authority=self.server_name)
+            tls.on_application_data = session.feed
+            if self.config.reuse_connections:
+                self._live_h2 = session
+            tls._h2_session = session  # type: ignore[attr-defined]
+        else:
+            parser = H1ResponseParser()
+            if self.config.reuse_connections:
+                self._live_h1_parser = parser
+            tls._h1_parser = parser  # type: ignore[attr-defined]
+
+    def _send_on_live(self, shot: _OneShot, dns_wire: bytes, reused: bool) -> None:
+        tls = self._live_tls
+        assert tls is not None
+        self._send_on_tls(shot, tls, dns_wire, reused=reused)
+
+    def _send_on_tls(
+        self, shot: _OneShot, tls: TlsClientConnection, dns_wire: bytes, reused: bool
+    ) -> None:
+        request = encode_doh_request(
+            dns_wire, method=self.config.method, path=self.config.doh_path
+        )
+
+        def on_http_response(response) -> None:
+            self._finish_from_http(shot, tls, response, reused)
+
+        h2_session = getattr(tls, "_h2_session", None)
+        if h2_session is not None:
+            try:
+                h2_session.request(request, on_http_response)
+            except Exception as exc:
+                shot.fail(exc)
+            return
+        # HTTP/1.1 path.
+        parser = getattr(tls, "_h1_parser", None)
+        if parser is None:
+            parser = H1ResponseParser()
+            tls._h1_parser = parser  # type: ignore[attr-defined]
+
+        def on_app_data(data: bytes) -> None:
+            try:
+                responses = parser.feed(data)
+            except Exception as exc:
+                shot.fail(exc)
+                return
+            for response in responses:
+                on_http_response(response)
+                break
+
+        tls.on_application_data = on_app_data
+        tls.send_application(encode_request(request, host=self.server_name))
+
+    def _finish_from_http(self, shot: _OneShot, tls: TlsClientConnection, response, reused: bool) -> None:
+        if shot.done:
+            return
+        if response.status != 200:
+            outcome = ProbeOutcome.failure(
+                shot.elapsed_ms, HttpStatusError(response.status)
+            )
+            outcome.http_status = response.status
+            outcome.http_version = "h2" if tls.negotiated_alpn == "h2" else "http/1.1"
+            outcome.tls_version = tls.negotiated_version
+            shot.finish(outcome)
+            return
+        try:
+            dns_wire = decode_doh_response(response)
+            message = Message.from_wire(dns_wire)
+        except (DohCodecError, DnsWireError) as exc:
+            shot.fail(exc)
+            return
+        success = message.rcode == RCODE_NOERROR
+        outcome = ProbeOutcome(
+            duration_ms=shot.elapsed_ms,
+            success=success,
+            error_class=None if success else ErrorClass.DNS_RCODE,
+            error_detail=None if success else f"rcode={message.rcode}",
+            rcode=message.rcode,
+            http_status=response.status,
+            http_version="h2" if tls.negotiated_alpn == "h2" else "http/1.1",
+            tls_version=tls.negotiated_version,
+            response_size=len(response.body),
+            connection_reused=reused,
+            answers=message.answer_addresses(),
+        )
+        shot.finish(outcome)
+
+
+# ---------------------------------------------------------------------------
+# DoT
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DotProbeConfig:
+    """Knobs of the DoT probe."""
+
+    tls_versions: Sequence[str] = ("1.3", "1.2")
+    timeout_ms: float = DEFAULT_TIMEOUT_MS
+    reuse_connections: bool = False
+    session_cache: Optional[SessionCache] = None
+
+
+class DotProbe:
+    """DNS-over-TLS probe (RFC 7858 length-prefixed framing on port 853)."""
+
+    def __init__(
+        self,
+        host: Host,
+        service_ip: str,
+        server_name: str,
+        config: Optional[DotProbeConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.host = host
+        self.service_ip = service_ip
+        self.server_name = server_name
+        self.config = config or DotProbeConfig()
+        self.rng = rng if rng is not None else random.Random(0)
+        self._live_tls: Optional[TlsClientConnection] = None
+
+    @property
+    def _loop(self):
+        assert self.host.network is not None
+        return self.host.network.loop
+
+    def query(self, domain: str, on_complete: OutcomeCallback, qtype: int = TYPE_A) -> None:
+        shot = _OneShot(self._loop, self.config.timeout_ms, on_complete)
+        query = make_query(domain, qtype, rng=self.rng)
+        framed = _LengthPrefixedStream.frame(query.to_wire())
+        if self.config.reuse_connections and self._live_tls is not None:
+            self._exchange(shot, self._live_tls, framed, query, reused=True)
+            return
+
+        tls_config = TlsClientConfig(
+            versions=tuple(self.config.tls_versions),
+            alpn=("dot",),
+            session_cache=self.config.session_cache,
+        )
+
+        def on_tls(tls: TlsClientConnection) -> None:
+            if self.config.reuse_connections:
+                self._live_tls = tls
+            else:
+                shot.add_cleanup(tls.close)
+            self._exchange(shot, tls, framed, query, reused=False)
+
+        def on_tcp(conn: SimTcpConnection) -> None:
+            if shot.done:
+                conn.close()
+                return
+            TlsClientConnection(
+                conn, self.server_name, tls_config, on_established=on_tls, on_error=shot.fail
+            )
+
+        SimTcpConnection.connect(
+            self.host, self.service_ip, 853, on_tcp, on_error=shot.fail,
+            timeout_ms=max(1.0, self.config.timeout_ms - 1.0),
+        )
+
+    def _exchange(
+        self,
+        shot: _OneShot,
+        tls: TlsClientConnection,
+        framed: bytes,
+        query: Message,
+        reused: bool,
+    ) -> None:
+        stream = _LengthPrefixedStream()
+
+        def on_app_data(data: bytes) -> None:
+            for wire in stream.feed(data):
+                try:
+                    message = Message.from_wire(wire)
+                except DnsWireError as exc:
+                    shot.fail(exc)
+                    return
+                if message.header.msg_id != query.header.msg_id:
+                    continue
+                success = message.rcode == RCODE_NOERROR
+                shot.finish(
+                    ProbeOutcome(
+                        duration_ms=shot.elapsed_ms,
+                        success=success,
+                        error_class=None if success else ErrorClass.DNS_RCODE,
+                        rcode=message.rcode,
+                        tls_version=tls.negotiated_version,
+                        response_size=len(wire),
+                        connection_reused=reused,
+                        answers=message.answer_addresses(),
+                    )
+                )
+                return
+
+        tls.on_application_data = on_app_data
+        tls.send_application(framed)
+
+    def close(self) -> None:
+        if self._live_tls is not None:
+            self._live_tls.close()
+            self._live_tls = None
+
+
+# ---------------------------------------------------------------------------
+# Do53
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Do53ProbeConfig:
+    timeout_ms: float = DEFAULT_TIMEOUT_MS
+    retries: int = 1
+    retry_interval_ms: float = 2000.0
+    #: Retry over TCP when a response arrives with the TC bit set.
+    tcp_fallback: bool = True
+
+
+class Do53Probe:
+    """Classic unencrypted DNS over UDP (the baseline transport)."""
+
+    def __init__(
+        self,
+        host: Host,
+        service_ip: str,
+        config: Optional[Do53ProbeConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.host = host
+        self.service_ip = service_ip
+        self.config = config or Do53ProbeConfig()
+        self.rng = rng if rng is not None else random.Random(0)
+
+    @property
+    def _loop(self):
+        assert self.host.network is not None
+        return self.host.network.loop
+
+    def query(self, domain: str, on_complete: OutcomeCallback, qtype: int = TYPE_A) -> None:
+        shot = _OneShot(self._loop, self.config.timeout_ms, on_complete)
+        query = make_query(domain, qtype, rng=self.rng)
+        wire = query.to_wire()
+        socket = SimUdpSocket(self.host)
+        shot.add_cleanup(socket.close)
+
+        def finish_with(message: Message, size: int, via_tcp: bool) -> None:
+            success = message.rcode == RCODE_NOERROR
+            detail = None
+            if via_tcp:
+                detail = "via-tcp"
+            elif message.header.tc:
+                detail = "truncated"  # fallback disabled: partial answer
+            shot.finish(
+                ProbeOutcome(
+                    duration_ms=shot.elapsed_ms,
+                    success=success,
+                    error_class=None if success else ErrorClass.DNS_RCODE,
+                    rcode=message.rcode,
+                    response_size=size,
+                    connection_reused=False,
+                    answers=message.answer_addresses(),
+                    error_detail=detail,
+                )
+            )
+
+        def fallback_to_tcp() -> None:
+            framed = _LengthPrefixedStream.frame(wire)
+            stream = _LengthPrefixedStream()
+
+            def on_established(conn: SimTcpConnection) -> None:
+                shot.add_cleanup(conn.close)
+
+                def on_data(data: bytes) -> None:
+                    for response_wire in stream.feed(data):
+                        try:
+                            message = Message.from_wire(response_wire)
+                        except DnsWireError as exc:
+                            shot.fail(exc)
+                            return
+                        if message.header.msg_id != query.header.msg_id:
+                            continue
+                        finish_with(message, len(response_wire), via_tcp=True)
+                        return
+
+                conn.on_data = on_data
+                conn.send(framed)
+
+            SimTcpConnection.connect(
+                self.host, self.service_ip, 53, on_established,
+                on_error=shot.fail,
+                timeout_ms=max(1.0, self.config.timeout_ms - shot.elapsed_ms - 1.0),
+            )
+
+        def on_datagram(dgram: Datagram) -> None:
+            try:
+                message = Message.from_wire(dgram.payload)
+            except DnsWireError as exc:
+                shot.fail(exc)
+                return
+            if message.header.msg_id != query.header.msg_id:
+                return
+            if message.header.tc and self.config.tcp_fallback:
+                # Truncated: the answer didn't fit the UDP payload budget;
+                # retry the same question over TCP (RFC 1035 §4.2.1).
+                socket.close()
+                fallback_to_tcp()
+                return
+            finish_with(message, len(dgram.payload), via_tcp=False)
+
+        socket.on_datagram = on_datagram
+
+        def attempt(remaining: int) -> None:
+            if shot.done:
+                return
+            socket.sendto(wire, self.service_ip, 53)
+            if remaining > 0:
+                self._loop.call_later(self.config.retry_interval_ms, attempt, remaining - 1)
+
+        attempt(self.config.retries)
+
+    def close(self) -> None:
+        """No kept state for UDP probes; present for probe-API symmetry."""
+
+
+# ---------------------------------------------------------------------------
+# DoQ
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DoqProbeConfig:
+    """Knobs of the DNS-over-QUIC probe."""
+
+    timeout_ms: float = DEFAULT_TIMEOUT_MS
+    reuse_connections: bool = False
+    session_cache: Optional[SessionCache] = None
+    enable_early_data: bool = True
+
+
+class DoqProbe:
+    """DNS over QUIC (RFC 9250): one query per bidirectional stream.
+
+    A fresh DoQ query costs ~2 x RTT (QUIC's combined handshake is one
+    round trip); a 0-RTT resumed query ~1 x RTT; a reused connection
+    ~1 x RTT per query.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        service_ip: str,
+        server_name: str,
+        config: Optional[DoqProbeConfig] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.host = host
+        self.service_ip = service_ip
+        self.server_name = server_name
+        self.config = config or DoqProbeConfig()
+        self.rng = rng if rng is not None else random.Random(0)
+        self._live_conn = None
+
+    @property
+    def _loop(self):
+        assert self.host.network is not None
+        return self.host.network.loop
+
+    def query(self, domain: str, on_complete: OutcomeCallback, qtype: int = TYPE_A) -> None:
+        from repro.quicsim.connection import QuicClientConnection, QuicConfig
+
+        shot = _OneShot(self._loop, self.config.timeout_ms, on_complete)
+        # RFC 9250 recommends msg_id = 0 on DoQ, like DoH.
+        query = make_query(domain, qtype, msg_id=0, rng=self.rng)
+        framed = _LengthPrefixedStream.frame(query.to_wire())
+
+        def on_response_bytes(data: bytes) -> None:
+            if shot.done:
+                return
+            messages = _LengthPrefixedStream().feed(data)
+            if not messages:
+                shot.fail(ProbeTimeout("empty DoQ response stream"))
+                return
+            try:
+                message = Message.from_wire(messages[0])
+            except DnsWireError as exc:
+                shot.fail(exc)
+                return
+            success = message.rcode == RCODE_NOERROR
+            reused = self.config.reuse_connections and self._live_conn is not None
+            shot.finish(
+                ProbeOutcome(
+                    duration_ms=shot.elapsed_ms,
+                    success=success,
+                    error_class=None if success else ErrorClass.DNS_RCODE,
+                    rcode=message.rcode,
+                    tls_version="quic",
+                    response_size=len(messages[0]),
+                    connection_reused=reused,
+                    answers=message.answer_addresses(),
+                )
+            )
+
+        conn = self._live_conn if self.config.reuse_connections else None
+        if conn is not None and not conn.closed:
+            conn.open_stream(framed, on_response_bytes)
+            return
+
+        quic_config = QuicConfig(
+            session_cache=self.config.session_cache,
+            enable_early_data=self.config.enable_early_data,
+            connect_timeout_ms=max(1.0, self.config.timeout_ms - 1.0),
+        )
+        conn = QuicClientConnection(
+            self.host, self.service_ip, 853, self.server_name,
+            config=quic_config, on_error=shot.fail,
+        )
+        if self.config.reuse_connections:
+            self._live_conn = conn
+        else:
+            shot.add_cleanup(conn.close)
+        conn.open_stream(framed, on_response_bytes)
+
+    def close(self) -> None:
+        if self._live_conn is not None:
+            self._live_conn.close()
+            self._live_conn = None
+
+
+# ---------------------------------------------------------------------------
+# Ping
+# ---------------------------------------------------------------------------
+
+
+class PingProbe:
+    """ICMP echo probe pairing each DNS measurement with a latency sample."""
+
+    def __init__(self, host: Host, target_ip: str, timeout_ms: float = 3000.0) -> None:
+        self.host = host
+        self.target_ip = target_ip
+        self.timeout_ms = timeout_ms
+
+    def send(self, on_complete: OutcomeCallback) -> None:
+        def on_result(result: PingResult) -> None:
+            if result.responded:
+                on_complete(
+                    ProbeOutcome(duration_ms=result.rtt_ms, success=True)
+                )
+            else:
+                on_complete(
+                    ProbeOutcome(
+                        duration_ms=None,
+                        success=False,
+                        error_class=ErrorClass.TIMEOUT,
+                        error_detail="no ICMP echo reply",
+                    )
+                )
+
+        ping(self.host, self.target_ip, on_result, timeout_ms=self.timeout_ms)

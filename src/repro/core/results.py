@@ -1,0 +1,134 @@
+"""Measurement records and the JSON results store.
+
+The paper's tool "writes the results to a JSON file" after each set of
+measurements.  :class:`ResultStore` keeps records in memory for analysis
+and (de)serializes them as JSON Lines, one record per line, so month-long
+campaigns stream to disk without holding file-size state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
+
+
+@dataclass
+class MeasurementRecord:
+    """One probe outcome.
+
+    ``kind`` is ``"dns_query"`` for a response-time measurement over any
+    DNS transport and ``"ping"`` for an ICMP latency measurement.
+    """
+
+    campaign: str
+    vantage: str
+    resolver: str
+    kind: str  # "dns_query" | "ping"
+    transport: str  # "doh" | "dot" | "do53" | "icmp"
+    domain: Optional[str]
+    round_index: int
+    started_at_ms: float
+    duration_ms: Optional[float]  # None when the probe failed
+    success: bool
+    error_class: Optional[str] = None
+    rcode: Optional[int] = None
+    http_status: Optional[int] = None
+    http_version: Optional[str] = None
+    tls_version: Optional[str] = None
+    response_size: Optional[int] = None
+    connection_reused: bool = False
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "MeasurementRecord":
+        data = json.loads(line)
+        return cls(**data)
+
+
+class ResultStore:
+    """In-memory record collection with JSONL persistence."""
+
+    def __init__(self) -> None:
+        self._records: List[MeasurementRecord] = []
+
+    def add(self, record: MeasurementRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[MeasurementRecord]) -> None:
+        self._records.extend(records)
+
+    @property
+    def records(self) -> List[MeasurementRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[MeasurementRecord]:
+        return iter(self._records)
+
+    # -- filtering views ------------------------------------------------------
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        vantage: Optional[str] = None,
+        resolver: Optional[str] = None,
+        transport: Optional[str] = None,
+        success: Optional[bool] = None,
+        predicate: Optional[Callable[[MeasurementRecord], bool]] = None,
+    ) -> List[MeasurementRecord]:
+        """Records matching every given criterion."""
+        out = []
+        for record in self._records:
+            if kind is not None and record.kind != kind:
+                continue
+            if vantage is not None and record.vantage != vantage:
+                continue
+            if resolver is not None and record.resolver != resolver:
+                continue
+            if transport is not None and record.transport != transport:
+                continue
+            if success is not None and record.success != success:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def durations_ms(self, **criteria) -> List[float]:
+        """Durations of successful records matching the criteria."""
+        records = self.filter(success=True, **criteria)
+        return [r.duration_ms for r in records if r.duration_ms is not None]
+
+    def by_resolver(self, **criteria) -> Dict[str, List[MeasurementRecord]]:
+        grouped: Dict[str, List[MeasurementRecord]] = {}
+        for record in self.filter(**criteria):
+            grouped.setdefault(record.resolver, []).append(record)
+        return grouped
+
+    # -- persistence --------------------------------------------------------------
+
+    def save_jsonl(self, path: Union[str, Path]) -> int:
+        """Write all records as JSON Lines; returns the record count."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            for record in self._records:
+                handle.write(record.to_json())
+                handle.write("\n")
+        return len(self._records)
+
+    @classmethod
+    def load_jsonl(cls, path: Union[str, Path]) -> "ResultStore":
+        store = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    store.add(MeasurementRecord.from_json(line))
+        return store

@@ -1,0 +1,275 @@
+"""Campaign orchestration: vantage × resolver × domain measurement sweeps.
+
+A :class:`Campaign` reproduces the paper's measurement procedure.  In each
+round, from each vantage point, for each target resolver:
+
+1. issue one DoH query per study domain, measuring end-to-end response
+   time (each query on a fresh connection by default, like ``dig``);
+2. issue one ICMP ping and record the round-trip latency.
+
+Every outcome — success or classified failure — lands in the
+:class:`~repro.core.results.ResultStore` as one record.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.probes import DohProbe, DohProbeConfig, PingProbe, ProbeOutcome
+from repro.core.results import MeasurementRecord, ResultStore
+from repro.core.scheduler import PeriodicSchedule
+from repro.core.vantage import VantagePoint
+from repro.errors import CampaignConfigError
+from repro.netsim.network import Network
+
+
+@dataclass(frozen=True)
+class ResolverTarget:
+    """The campaign-facing view of one resolver under test."""
+
+    hostname: str
+    service_ip: str
+    doh_path: str = "/dns-query"
+    region: Optional[str] = None  # continent code, None if not geolocatable
+    mainstream: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.hostname or not self.service_ip:
+            raise CampaignConfigError("target needs hostname and service_ip")
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of one measurement campaign.
+
+    ``transport`` selects the probe type — the paper's tool "enables
+    researchers to issue traditional DNS, DoT, and DoH queries"; the study
+    itself ran DoH, the default here.
+    """
+
+    name: str
+    domains: Sequence[str] = ("google.com", "amazon.com", "wikipedia.com")
+    schedule: PeriodicSchedule = field(
+        default_factory=lambda: PeriodicSchedule(rounds=3, interval_ms=8 * 3600 * 1000.0)
+    )
+    transport: str = "doh"
+    probe_config: DohProbeConfig = field(default_factory=DohProbeConfig)
+    ping: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.domains:
+            raise CampaignConfigError("campaign needs at least one domain")
+        if self.transport not in ("doh", "dot", "do53", "doq"):
+            raise CampaignConfigError(f"unknown transport {self.transport!r}")
+
+
+class Campaign:
+    """Runs one measurement campaign over the simulated world."""
+
+    def __init__(
+        self,
+        network: Network,
+        vantages: Sequence[VantagePoint],
+        targets: Sequence[ResolverTarget],
+        config: CampaignConfig,
+        store: Optional[ResultStore] = None,
+    ) -> None:
+        if not vantages:
+            raise CampaignConfigError("campaign needs at least one vantage point")
+        if not targets:
+            raise CampaignConfigError("campaign needs at least one target")
+        self.network = network
+        self.vantages = list(vantages)
+        self.targets = list(targets)
+        self.config = config
+        self.store = store if store is not None else ResultStore()
+        self._outstanding = 0
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self) -> ResultStore:
+        """Schedule all rounds and drive the event loop to completion."""
+        for round_index, round_start in enumerate(self.config.schedule.round_starts()):
+            for vantage in self.vantages:
+                for target in self.targets:
+                    rng = self._rng_for(round_index, vantage, target)
+                    offset = self.config.schedule.probe_offset(rng)
+                    self.network.loop.call_at(
+                        max(round_start + offset, self.network.loop.now),
+                        self._measure_target,
+                        round_index,
+                        vantage,
+                        target,
+                        rng,
+                    )
+        self.network.run()
+        return self.store
+
+    def _rng_for(
+        self, round_index: int, vantage: VantagePoint, target: ResolverTarget
+    ) -> random.Random:
+        seed_material = (
+            f"{self.config.name}|{self.config.seed}|{round_index}|"
+            f"{vantage.name}|{target.hostname}"
+        )
+        return random.Random(hash(seed_material) & 0xFFFFFFFF)
+
+    # -- one (vantage, target) measurement set -----------------------------------
+
+    def _make_probe(
+        self, vantage: VantagePoint, target: ResolverTarget, rng: random.Random
+    ):
+        """Instantiate the probe matching the campaign's transport."""
+        if self.config.transport == "doh":
+            return DohProbe(
+                host=vantage.host,
+                service_ip=target.service_ip,
+                server_name=target.hostname,
+                config=self._probe_config_for(target),
+                rng=rng,
+            )
+        if self.config.transport == "dot":
+            from repro.core.probes import DotProbe, DotProbeConfig
+
+            base = self.config.probe_config
+            return DotProbe(
+                host=vantage.host,
+                service_ip=target.service_ip,
+                server_name=target.hostname,
+                config=DotProbeConfig(
+                    tls_versions=base.tls_versions,
+                    timeout_ms=base.timeout_ms,
+                    reuse_connections=base.reuse_connections,
+                    session_cache=base.session_cache,
+                ),
+                rng=rng,
+            )
+        if self.config.transport == "doq":
+            from repro.core.probes import DoqProbe, DoqProbeConfig
+
+            base = self.config.probe_config
+            return DoqProbe(
+                host=vantage.host,
+                service_ip=target.service_ip,
+                server_name=target.hostname,
+                config=DoqProbeConfig(
+                    timeout_ms=base.timeout_ms,
+                    reuse_connections=base.reuse_connections,
+                    session_cache=base.session_cache,
+                ),
+                rng=rng,
+            )
+        from repro.core.probes import Do53Probe, Do53ProbeConfig
+
+        return Do53Probe(
+            host=vantage.host,
+            service_ip=target.service_ip,
+            config=Do53ProbeConfig(timeout_ms=self.config.probe_config.timeout_ms),
+            rng=rng,
+        )
+
+    def _measure_target(
+        self,
+        round_index: int,
+        vantage: VantagePoint,
+        target: ResolverTarget,
+        rng: random.Random,
+    ) -> None:
+        probe = self._make_probe(vantage, target, rng)
+        domains = list(self.config.domains)
+
+        def query_next(index: int) -> None:
+            if index >= len(domains):
+                probe.close()
+                return
+            domain = domains[index]
+            started = self.network.loop.now
+
+            def on_outcome(outcome: ProbeOutcome) -> None:
+                self._record_query(round_index, vantage, target, domain, started, outcome)
+                query_next(index + 1)
+
+            probe.query(domain, on_outcome)
+
+        query_next(0)
+
+        if self.config.ping:
+            started = self.network.loop.now
+
+            def on_ping(outcome: ProbeOutcome) -> None:
+                self._record_ping(round_index, vantage, target, started, outcome)
+
+            PingProbe(vantage.host, target.service_ip).send(on_ping)
+
+    def _probe_config_for(self, target: ResolverTarget) -> DohProbeConfig:
+        base = self.config.probe_config
+        return DohProbeConfig(
+            method=base.method,
+            http_versions=base.http_versions,
+            tls_versions=base.tls_versions,
+            timeout_ms=base.timeout_ms,
+            reuse_connections=base.reuse_connections,
+            session_cache=base.session_cache,
+            enable_early_data=base.enable_early_data,
+            doh_path=target.doh_path,
+        )
+
+    # -- recording -----------------------------------------------------------------
+
+    def _record_query(
+        self,
+        round_index: int,
+        vantage: VantagePoint,
+        target: ResolverTarget,
+        domain: str,
+        started_at: float,
+        outcome: ProbeOutcome,
+    ) -> None:
+        self.store.add(
+            MeasurementRecord(
+                campaign=self.config.name,
+                vantage=vantage.name,
+                resolver=target.hostname,
+                kind="dns_query",
+                transport=self.config.transport,
+                domain=domain,
+                round_index=round_index,
+                started_at_ms=started_at,
+                duration_ms=outcome.duration_ms if outcome.success else outcome.duration_ms,
+                success=outcome.success,
+                error_class=outcome.error_class.value if outcome.error_class else None,
+                rcode=outcome.rcode,
+                http_status=outcome.http_status,
+                http_version=outcome.http_version,
+                tls_version=outcome.tls_version,
+                response_size=outcome.response_size,
+                connection_reused=outcome.connection_reused,
+            )
+        )
+
+    def _record_ping(
+        self,
+        round_index: int,
+        vantage: VantagePoint,
+        target: ResolverTarget,
+        started_at: float,
+        outcome: ProbeOutcome,
+    ) -> None:
+        self.store.add(
+            MeasurementRecord(
+                campaign=self.config.name,
+                vantage=vantage.name,
+                resolver=target.hostname,
+                kind="ping",
+                transport="icmp",
+                domain=None,
+                round_index=round_index,
+                started_at_ms=started_at,
+                duration_ms=outcome.duration_ms,
+                success=outcome.success,
+                error_class=outcome.error_class.value if outcome.error_class else None,
+            )
+        )

@@ -1,0 +1,44 @@
+"""Query distribution across multiple encrypted resolvers.
+
+The paper's discussion (and the related work it cites: Hoang et al.'s
+K-resolver, Hounsel et al.'s distribution study) motivates spreading DNS
+queries over several encrypted resolvers so that no single operator can
+assemble a complete browsing profile.  The measurement results are exactly
+the input such a scheme needs — which resolvers are viable from a given
+vantage point.
+
+This package implements the standard strategies and an evaluator that
+measures both sides of the trade-off on the simulated platform:
+
+* **performance** — response-time distribution under each strategy;
+* **privacy** — how queries (and distinct domains) spread over resolvers:
+  per-resolver share, Shannon entropy, and profiling exposure.
+"""
+
+from repro.distribution.strategies import (
+    HashStickyStrategy,
+    RacingStrategy,
+    RoundRobinStrategy,
+    SingleResolverStrategy,
+    Strategy,
+    UniformRandomStrategy,
+    WeightedStrategy,
+)
+from repro.distribution.evaluator import (
+    DistributionOutcome,
+    PrivacyMetrics,
+    evaluate_strategy,
+)
+
+__all__ = [
+    "DistributionOutcome",
+    "HashStickyStrategy",
+    "PrivacyMetrics",
+    "RacingStrategy",
+    "RoundRobinStrategy",
+    "SingleResolverStrategy",
+    "Strategy",
+    "UniformRandomStrategy",
+    "WeightedStrategy",
+    "evaluate_strategy",
+]

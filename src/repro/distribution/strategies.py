@@ -1,0 +1,132 @@
+"""Resolver-selection strategies.
+
+Every strategy answers one question per query: *which resolver(s) should
+this query go to?*  Returning more than one hostname means the client
+races them and takes the first response (Hounsel et al.'s "race" policy).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import CampaignConfigError
+
+
+class Strategy:
+    """Base class: subclasses implement :meth:`pick`."""
+
+    name: str = "abstract"
+
+    def pick(self, domain: str, rng: random.Random) -> List[str]:
+        """Resolver hostnames to query for ``domain`` (>=1; first-wins)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _require_resolvers(resolvers: Sequence[str]) -> List[str]:
+        if not resolvers:
+            raise CampaignConfigError("strategy needs at least one resolver")
+        return list(resolvers)
+
+
+@dataclass
+class SingleResolverStrategy(Strategy):
+    """The browser default: every query to one resolver."""
+
+    resolver: str
+    name: str = "single"
+
+    def pick(self, domain: str, rng: random.Random) -> List[str]:
+        return [self.resolver]
+
+
+class RoundRobinStrategy(Strategy):
+    """Cycle through the resolver list query by query."""
+
+    name = "round-robin"
+
+    def __init__(self, resolvers: Sequence[str]) -> None:
+        self.resolvers = self._require_resolvers(resolvers)
+        self._next = 0
+
+    def pick(self, domain: str, rng: random.Random) -> List[str]:
+        choice = self.resolvers[self._next % len(self.resolvers)]
+        self._next += 1
+        return [choice]
+
+
+class UniformRandomStrategy(Strategy):
+    """Independent uniform choice per query (K-resolver's basic mode)."""
+
+    name = "uniform-random"
+
+    def __init__(self, resolvers: Sequence[str]) -> None:
+        self.resolvers = self._require_resolvers(resolvers)
+
+    def pick(self, domain: str, rng: random.Random) -> List[str]:
+        return [rng.choice(self.resolvers)]
+
+
+class HashStickyStrategy(Strategy):
+    """Deterministic domain -> resolver mapping.
+
+    Each resolver sees a fixed *partition* of the domain space: repeat
+    visits to a site always hit the same resolver (cache-friendly), and
+    each operator learns only its shard of the user's browsing.
+    """
+
+    name = "hash-sticky"
+
+    def __init__(self, resolvers: Sequence[str], salt: bytes = b"") -> None:
+        self.resolvers = self._require_resolvers(resolvers)
+        self.salt = salt
+
+    def pick(self, domain: str, rng: random.Random) -> List[str]:
+        digest = hashlib.sha256(self.salt + domain.lower().encode("ascii")).digest()
+        index = int.from_bytes(digest[:8], "big") % len(self.resolvers)
+        return [self.resolvers[index]]
+
+
+class WeightedStrategy(Strategy):
+    """Random choice with probability inversely proportional to latency.
+
+    Uses measured per-resolver medians (from a prior campaign) as weights:
+    fast resolvers get more traffic, slow ones stay in rotation for
+    diversity — the performance-aware middle ground the paper's discussion
+    points toward.
+    """
+
+    name = "latency-weighted"
+
+    def __init__(self, median_ms_by_resolver: Dict[str, float]) -> None:
+        if not median_ms_by_resolver:
+            raise CampaignConfigError("weighted strategy needs measured medians")
+        self.resolvers = list(median_ms_by_resolver)
+        self.weights = [1.0 / max(value, 0.001) for value in median_ms_by_resolver.values()]
+
+    def pick(self, domain: str, rng: random.Random) -> List[str]:
+        return rng.choices(self.resolvers, weights=self.weights, k=1)
+
+
+class RacingStrategy(Strategy):
+    """Query ``fanout`` random resolvers in parallel; first answer wins.
+
+    Latency becomes the minimum over the sample — robust to any one slow
+    or flaky resolver — at the cost of every raced resolver seeing the
+    query (a privacy trade-off the evaluator makes visible).
+    """
+
+    name = "racing"
+
+    def __init__(self, resolvers: Sequence[str], fanout: int = 2) -> None:
+        self.resolvers = self._require_resolvers(resolvers)
+        if not 1 <= fanout <= len(self.resolvers):
+            raise CampaignConfigError(
+                f"fanout {fanout} outside [1, {len(self.resolvers)}]"
+            )
+        self.fanout = fanout
+
+    def pick(self, domain: str, rng: random.Random) -> List[str]:
+        return rng.sample(self.resolvers, self.fanout)

@@ -1,0 +1,75 @@
+"""Convenience builders for queries and responses.
+
+These mirror what ``dig`` and a recursive resolver would produce: queries
+with RD set and EDNS attached; responses echoing the question with RA set.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Union
+
+from repro.dnswire.edns import EdnsOptions, add_edns
+from repro.dnswire.message import Header, Message, Question, ResourceRecord
+from repro.dnswire.name import Name
+from repro.dnswire.types import CLASS_IN, RCODE_NOERROR, TYPE_A
+
+NameLike = Union[str, Name]
+
+
+def _as_name(value: NameLike) -> Name:
+    return value if isinstance(value, Name) else Name.from_text(value)
+
+
+def make_query(
+    qname: NameLike,
+    qtype: int = TYPE_A,
+    qclass: int = CLASS_IN,
+    msg_id: Optional[int] = None,
+    recursion_desired: bool = True,
+    edns: bool = True,
+    rng: Optional[random.Random] = None,
+) -> Message:
+    """Build a standard query message.
+
+    RFC 8484 recommends ``msg_id = 0`` for DoH (cache friendliness); pass
+    ``msg_id=0`` explicitly for that. By default a random ID is chosen from
+    ``rng`` (or the module RNG).
+    """
+    if msg_id is None:
+        msg_id = (rng or random).randint(0, 0xFFFF)
+    message = Message(
+        header=Header(msg_id=msg_id, qr=False, rd=recursion_desired),
+        questions=[Question(_as_name(qname), qtype, qclass)],
+    )
+    if edns:
+        add_edns(message, EdnsOptions())
+    return message
+
+
+def make_response(
+    query: Message,
+    answers: Iterable[ResourceRecord] = (),
+    authorities: Iterable[ResourceRecord] = (),
+    additionals: Iterable[ResourceRecord] = (),
+    rcode: int = RCODE_NOERROR,
+    authoritative: bool = False,
+    recursion_available: bool = True,
+) -> Message:
+    """Build a response echoing the query's ID and question section."""
+    header = Header(
+        msg_id=query.header.msg_id,
+        qr=True,
+        opcode=query.header.opcode,
+        aa=authoritative,
+        rd=query.header.rd,
+        ra=recursion_available,
+        rcode=rcode,
+    )
+    return Message(
+        header=header,
+        questions=list(query.questions),
+        answers=list(answers),
+        authorities=list(authorities),
+        additionals=list(additionals),
+    )

@@ -1,0 +1,293 @@
+"""Typed RDATA codecs.
+
+Each RDATA class knows how to encode itself into a message buffer (names in
+well-known types participate in compression, per RFC 1035 §4.1.4) and how to
+decode itself from wire bytes.  Types without a specific class round-trip as
+:class:`GenericRdata` (RFC 3597 style).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.dnswire.name import Name
+from repro.dnswire.types import (
+    TYPE_A,
+    TYPE_AAAA,
+    TYPE_CNAME,
+    TYPE_MX,
+    TYPE_NS,
+    TYPE_PTR,
+    TYPE_SOA,
+    TYPE_TXT,
+)
+from repro.errors import MessageMalformed, MessageTruncated
+
+CompressMap = Dict[Tuple[bytes, ...], int]
+
+
+class Rdata:
+    """Base class for typed RDATA."""
+
+    rdtype: int = 0
+
+    def encode(self, buffer: bytearray, compress: Optional[CompressMap]) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def decode(cls, wire: bytes, offset: int, rdlength: int) -> "Rdata":
+        raise NotImplementedError
+
+    def to_text(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ARdata(Rdata):
+    """IPv4 address record."""
+
+    address: str
+    rdtype = TYPE_A
+
+    def __post_init__(self) -> None:
+        ipaddress.IPv4Address(self.address)  # validates
+
+    def encode(self, buffer: bytearray, compress: Optional[CompressMap]) -> None:
+        buffer += ipaddress.IPv4Address(self.address).packed
+
+    @classmethod
+    def decode(cls, wire: bytes, offset: int, rdlength: int) -> "ARdata":
+        if rdlength != 4:
+            raise MessageMalformed(f"A rdata must be 4 bytes, got {rdlength}")
+        return cls(str(ipaddress.IPv4Address(wire[offset : offset + 4])))
+
+    def to_text(self) -> str:
+        return self.address
+
+
+@dataclass(frozen=True)
+class AaaaRdata(Rdata):
+    """IPv6 address record."""
+
+    address: str
+    rdtype = TYPE_AAAA
+
+    def __post_init__(self) -> None:
+        ipaddress.IPv6Address(self.address)
+
+    def encode(self, buffer: bytearray, compress: Optional[CompressMap]) -> None:
+        buffer += ipaddress.IPv6Address(self.address).packed
+
+    @classmethod
+    def decode(cls, wire: bytes, offset: int, rdlength: int) -> "AaaaRdata":
+        if rdlength != 16:
+            raise MessageMalformed(f"AAAA rdata must be 16 bytes, got {rdlength}")
+        return cls(str(ipaddress.IPv6Address(wire[offset : offset + 16])))
+
+    def to_text(self) -> str:
+        return self.address
+
+
+class _SingleNameRdata(Rdata):
+    """Common base for RDATA consisting of exactly one domain name."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: Name) -> None:
+        self.target = target
+
+    def encode(self, buffer: bytearray, compress: Optional[CompressMap]) -> None:
+        self.target.encode(buffer, compress)
+
+    @classmethod
+    def decode(cls, wire: bytes, offset: int, rdlength: int):
+        name, _end = Name.decode(wire, offset)
+        return cls(name)
+
+    def to_text(self) -> str:
+        return self.target.to_text()
+
+    def __eq__(self, other: object) -> bool:
+        return type(other) is type(self) and other.target == self.target  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.target))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.target.to_text()!r})"
+
+
+class CnameRdata(_SingleNameRdata):
+    rdtype = TYPE_CNAME
+
+
+class NsRdata(_SingleNameRdata):
+    rdtype = TYPE_NS
+
+
+class PtrRdata(_SingleNameRdata):
+    rdtype = TYPE_PTR
+
+
+@dataclass(frozen=True)
+class SoaRdata(Rdata):
+    """Start-of-authority record."""
+
+    mname: Name
+    rname: Name
+    serial: int
+    refresh: int
+    retry: int
+    expire: int
+    minimum: int
+    rdtype = TYPE_SOA
+
+    def encode(self, buffer: bytearray, compress: Optional[CompressMap]) -> None:
+        self.mname.encode(buffer, compress)
+        self.rname.encode(buffer, compress)
+        buffer += struct.pack(
+            "!IIIII", self.serial, self.refresh, self.retry, self.expire, self.minimum
+        )
+
+    @classmethod
+    def decode(cls, wire: bytes, offset: int, rdlength: int) -> "SoaRdata":
+        mname, offset = Name.decode(wire, offset)
+        rname, offset = Name.decode(wire, offset)
+        if offset + 20 > len(wire):
+            raise MessageTruncated("truncated SOA rdata")
+        serial, refresh, retry, expire, minimum = struct.unpack_from("!IIIII", wire, offset)
+        return cls(mname, rname, serial, refresh, retry, expire, minimum)
+
+    def to_text(self) -> str:
+        return (
+            f"{self.mname.to_text()} {self.rname.to_text()} {self.serial} "
+            f"{self.refresh} {self.retry} {self.expire} {self.minimum}"
+        )
+
+
+@dataclass(frozen=True)
+class MxRdata(Rdata):
+    """Mail-exchanger record."""
+
+    preference: int
+    exchange: Name
+    rdtype = TYPE_MX
+
+    def encode(self, buffer: bytearray, compress: Optional[CompressMap]) -> None:
+        buffer += struct.pack("!H", self.preference)
+        self.exchange.encode(buffer, compress)
+
+    @classmethod
+    def decode(cls, wire: bytes, offset: int, rdlength: int) -> "MxRdata":
+        if offset + 2 > len(wire):
+            raise MessageTruncated("truncated MX rdata")
+        (preference,) = struct.unpack_from("!H", wire, offset)
+        exchange, _end = Name.decode(wire, offset + 2)
+        return cls(preference, exchange)
+
+    def to_text(self) -> str:
+        return f"{self.preference} {self.exchange.to_text()}"
+
+
+class TxtRdata(Rdata):
+    """TXT record: one or more character-strings."""
+
+    rdtype = TYPE_TXT
+    __slots__ = ("strings",)
+
+    def __init__(self, strings: List[bytes]) -> None:
+        if not strings:
+            raise MessageMalformed("TXT rdata needs at least one string")
+        for s in strings:
+            if len(s) > 255:
+                raise MessageMalformed("TXT character-string exceeds 255 bytes")
+        self.strings = list(strings)
+
+    def encode(self, buffer: bytearray, compress: Optional[CompressMap]) -> None:
+        for s in self.strings:
+            buffer.append(len(s))
+            buffer += s
+
+    @classmethod
+    def decode(cls, wire: bytes, offset: int, rdlength: int) -> "TxtRdata":
+        end = offset + rdlength
+        strings = []
+        cursor = offset
+        while cursor < end:
+            length = wire[cursor]
+            cursor += 1
+            if cursor + length > end:
+                raise MessageTruncated("truncated TXT character-string")
+            strings.append(wire[cursor : cursor + length])
+            cursor += length
+        return cls(strings)
+
+    def to_text(self) -> str:
+        return " ".join('"' + s.decode("ascii", "replace") + '"' for s in self.strings)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TxtRdata) and other.strings == self.strings
+
+    def __hash__(self) -> int:
+        return hash(tuple(self.strings))
+
+    def __repr__(self) -> str:
+        return f"TxtRdata({self.strings!r})"
+
+
+class GenericRdata(Rdata):
+    """Opaque RDATA for types without a dedicated codec (RFC 3597)."""
+
+    __slots__ = ("rdtype", "data")
+
+    def __init__(self, rdtype: int, data: bytes) -> None:
+        self.rdtype = rdtype
+        self.data = data
+
+    def encode(self, buffer: bytearray, compress: Optional[CompressMap]) -> None:
+        buffer += self.data
+
+    @classmethod
+    def decode_generic(cls, rdtype: int, wire: bytes, offset: int, rdlength: int) -> "GenericRdata":
+        return cls(rdtype, wire[offset : offset + rdlength])
+
+    def to_text(self) -> str:
+        return f"\\# {len(self.data)} {self.data.hex()}"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GenericRdata)
+            and other.rdtype == self.rdtype
+            and other.data == self.data
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.rdtype, self.data))
+
+    def __repr__(self) -> str:
+        return f"GenericRdata(type={self.rdtype}, {len(self.data)}B)"
+
+
+_REGISTRY: Dict[int, Type[Rdata]] = {
+    TYPE_A: ARdata,
+    TYPE_AAAA: AaaaRdata,
+    TYPE_CNAME: CnameRdata,
+    TYPE_NS: NsRdata,
+    TYPE_PTR: PtrRdata,
+    TYPE_SOA: SoaRdata,
+    TYPE_MX: MxRdata,
+    TYPE_TXT: TxtRdata,
+}
+
+
+def decode_rdata(rdtype: int, wire: bytes, offset: int, rdlength: int) -> Rdata:
+    """Decode RDATA of the given type; unknown types yield GenericRdata."""
+    if offset + rdlength > len(wire):
+        raise MessageTruncated(f"rdata of type {rdtype} runs past end of message")
+    codec = _REGISTRY.get(rdtype)
+    if codec is None:
+        return GenericRdata.decode_generic(rdtype, wire, offset, rdlength)
+    return codec.decode(wire, offset, rdlength)

@@ -1,0 +1,164 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the boundary.  The measurement platform
+additionally maps transport/protocol failures onto the error taxonomy in
+:mod:`repro.core.errors_taxonomy` when recording results; the exception
+classes here carry the raw failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulator errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the network simulator."""
+
+
+class ClockError(SimulationError):
+    """Raised when the virtual clock is misused (e.g. scheduling in the past)."""
+
+
+class RoutingError(SimulationError):
+    """Raised when a packet cannot be routed (unknown IP, no anycast site)."""
+
+
+class AddressError(SimulationError):
+    """Raised for malformed or conflicting simulated addresses."""
+
+
+class SocketError(SimulationError):
+    """Base class for simulated socket failures."""
+
+
+class ConnectionRefused(SocketError):
+    """The remote host has no listener on the destination port."""
+
+
+class ConnectionReset(SocketError):
+    """The remote end closed or aborted the connection mid-exchange."""
+
+
+class ConnectTimeout(SocketError):
+    """The transport-level connection attempt timed out."""
+
+
+# ---------------------------------------------------------------------------
+# DNS wire format errors
+# ---------------------------------------------------------------------------
+
+
+class DnsWireError(ReproError):
+    """Base class for DNS message encoding/decoding failures."""
+
+
+class NameError_(DnsWireError):
+    """Raised for malformed domain names (length limits, bad labels).
+
+    Named with a trailing underscore to avoid shadowing the ``NameError``
+    builtin; exported as ``DnsNameError`` from :mod:`repro.dnswire`.
+    """
+
+
+class MessageTruncated(DnsWireError):
+    """Raised when a wire message ends before a field completes."""
+
+
+class MessageMalformed(DnsWireError):
+    """Raised when a wire message violates the RFC 1035 grammar."""
+
+
+class CompressionError(DnsWireError):
+    """Raised for bad compression pointers (loops, forward references)."""
+
+
+# ---------------------------------------------------------------------------
+# TLS / HTTP simulation errors
+# ---------------------------------------------------------------------------
+
+
+class TlsError(ReproError):
+    """Base class for simulated TLS failures."""
+
+
+class TlsHandshakeError(TlsError):
+    """The simulated TLS handshake failed (version mismatch, server abort)."""
+
+
+class TlsAlert(TlsError):
+    """The peer sent a fatal TLS alert."""
+
+
+class HttpError(ReproError):
+    """Base class for simulated HTTP failures."""
+
+
+class HttpProtocolError(HttpError):
+    """Malformed HTTP/1.1 framing or HTTP/2 frame sequence."""
+
+
+class HttpStatusError(HttpError):
+    """A non-2xx HTTP response where the caller required success."""
+
+    def __init__(self, status: int, reason: str = "") -> None:
+        super().__init__(f"HTTP status {status} {reason}".strip())
+        self.status = status
+        self.reason = reason
+
+
+# ---------------------------------------------------------------------------
+# Resolver errors
+# ---------------------------------------------------------------------------
+
+
+class ResolverError(ReproError):
+    """Base class for recursive-resolution failures."""
+
+
+class ZoneError(ResolverError):
+    """Raised for malformed or inconsistent zone data."""
+
+
+class ResolutionFailed(ResolverError):
+    """The recursive engine could not resolve the name (SERVFAIL)."""
+
+
+class NxDomain(ResolverError):
+    """The name does not exist (authoritative NXDOMAIN)."""
+
+
+# ---------------------------------------------------------------------------
+# Measurement platform errors
+# ---------------------------------------------------------------------------
+
+
+class MeasurementError(ReproError):
+    """Base class for measurement-platform failures."""
+
+
+class ProbeTimeout(MeasurementError):
+    """A probe did not complete within its deadline."""
+
+
+class CampaignConfigError(MeasurementError):
+    """A measurement campaign was configured inconsistently."""
+
+
+class CatalogError(ReproError):
+    """Raised for unknown resolvers or malformed catalog entries."""
+
+
+class GeoError(ReproError):
+    """Raised for geolocation database failures (unknown IP, bad prefix)."""
+
+
+class AnalysisError(ReproError):
+    """Raised when analysis inputs are empty or inconsistent."""

@@ -1,0 +1,31 @@
+"""Paper reproduction drivers.
+
+* :mod:`repro.experiments.world` — builds the simulated Internet: the DNS
+  hierarchy, all 91 resolver deployments from the catalog, the geolocation
+  database, and the study's seven vantage points.
+* :mod:`repro.experiments.campaigns` — the paper's measurement campaigns
+  (Chicago home networks; EC2 Ohio/Frankfurt/Seoul; monthly re-checks).
+* :mod:`repro.experiments.paper` — runs every experiment and produces the
+  paper-versus-measured comparison consumed by EXPERIMENTS.md and the
+  benchmark harness.
+"""
+
+from repro.experiments.world import World, build_world
+from repro.experiments.campaigns import (
+    ec2_campaign_config,
+    home_campaign_config,
+    monthly_recheck_config,
+    run_study,
+)
+from repro.experiments.paper import PaperReport, generate_report
+
+__all__ = [
+    "PaperReport",
+    "World",
+    "build_world",
+    "ec2_campaign_config",
+    "generate_report",
+    "home_campaign_config",
+    "monthly_recheck_config",
+    "run_study",
+]

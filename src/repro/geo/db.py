@@ -1,0 +1,73 @@
+"""The geolocation database (GeoLite2 substitute).
+
+Maps IP addresses to :class:`GeoRecord` entries.  Lookups behave like
+MaxMind's city database: known addresses return a record, unknown ones
+raise :class:`~repro.errors.GeoError` (callers that tolerate missing
+geolocation — like the paper's six unlocatable resolvers — use
+:meth:`GeoDatabase.lookup_or_none`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import GeoError
+from repro.geo.regions import City
+from repro.netsim.geo import Coordinates
+
+
+@dataclass(frozen=True)
+class GeoRecord:
+    """One geolocation answer."""
+
+    ip: str
+    city: str
+    country: str
+    continent: str
+    coords: Coordinates
+
+    @classmethod
+    def from_city(cls, ip: str, city: City) -> "GeoRecord":
+        return cls(
+            ip=ip,
+            city=city.name,
+            country=city.country,
+            continent=city.continent,
+            coords=city.coords,
+        )
+
+
+class GeoDatabase:
+    """In-memory IP → location database."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, GeoRecord] = {}
+
+    def register(self, record: GeoRecord) -> None:
+        """Add (or replace) the record for an address."""
+        self._records[record.ip] = record
+
+    def register_city(self, ip: str, city: City) -> None:
+        self.register(GeoRecord.from_city(ip, city))
+
+    def lookup(self, ip: str) -> GeoRecord:
+        """The record for ``ip``; raises :class:`GeoError` if unknown."""
+        record = self._records.get(ip)
+        if record is None:
+            raise GeoError(f"no geolocation data for {ip}")
+        return record
+
+    def lookup_or_none(self, ip: str) -> Optional[GeoRecord]:
+        """Like :meth:`lookup` but returns None for unknown addresses."""
+        return self._records.get(ip)
+
+    def continent_of(self, ip: str) -> Optional[str]:
+        record = self._records.get(ip)
+        return record.continent if record is not None else None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, ip: str) -> bool:
+        return ip in self._records

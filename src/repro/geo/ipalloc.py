@@ -1,0 +1,73 @@
+"""Deterministic IPv4 allocation for the simulated world.
+
+Addresses are handed out sequentially from per-purpose blocks so that runs
+are reproducible and addresses are recognizable in traces:
+
+=============  ===================  =================================
+Block          Purpose              Example
+=============  ===================  =================================
+``198.18/16``  vantage points       ``198.18.0.1`` (benchmarking range)
+``203.0/16``   resolver sites       ``203.0.113.7``
+``192.88/16``  anycast service IPs  ``192.88.99.1``
+``199.7/16``   root + TLD servers   ``199.7.0.1``
+``100.64/16``  authoritative farms  ``100.64.0.9``
+=============  ===================  =================================
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from typing import Dict
+
+from repro.errors import AddressError
+
+_BLOCKS = {
+    "vantage": "198.18.0.0/16",
+    "resolver": "203.0.0.0/16",
+    "anycast": "192.88.0.0/16",
+    "infra": "199.7.0.0/16",
+    "auth": "100.64.0.0/16",
+}
+
+
+class IpAllocator:
+    """Sequential allocator over named address blocks."""
+
+    def __init__(self) -> None:
+        self._networks: Dict[str, ipaddress.IPv4Network] = {
+            name: ipaddress.IPv4Network(block) for name, block in _BLOCKS.items()
+        }
+        self._next_offset: Dict[str, int] = {name: 1 for name in _BLOCKS}
+        self._assigned: Dict[str, str] = {}
+
+    def allocate(self, block: str, owner: str) -> str:
+        """Allocate the next address in ``block`` to ``owner``.
+
+        Allocations are memoized by owner: asking twice for the same owner
+        returns the same address.
+        """
+        if block not in self._networks:
+            raise AddressError(f"unknown block {block!r}; known: {sorted(self._networks)}")
+        key = f"{block}/{owner}"
+        existing = self._assigned.get(key)
+        if existing is not None:
+            return existing
+        network = self._networks[block]
+        offset = self._next_offset[block]
+        if offset >= network.num_addresses - 1:
+            raise AddressError(f"block {block} exhausted")
+        self._next_offset[block] = offset + 1
+        address = str(network.network_address + offset)
+        self._assigned[key] = address
+        return address
+
+    def owner_of(self, address: str) -> str:
+        """Reverse lookup (raises if the address was never allocated)."""
+        for key, assigned in self._assigned.items():
+            if assigned == address:
+                return key.split("/", 1)[1]
+        raise AddressError(f"{address} was not allocated by this allocator")
+
+    @property
+    def allocated_count(self) -> int:
+        return len(self._assigned)

@@ -1,0 +1,61 @@
+"""Simulated HTTP layers for DNS-over-HTTPS.
+
+* :mod:`repro.httpsim.h1` — HTTP/1.1 text framing with incremental parsers
+  for both directions (requests and responses) and keep-alive support.
+* :mod:`repro.httpsim.h2` — HTTP/2 binary framing (SETTINGS/HEADERS/DATA/
+  GOAWAY/RST_STREAM frames, client preface, odd-numbered client streams,
+  concurrent stream multiplexing).  Header blocks use a documented
+  JSON-based stand-in for HPACK; frame overhead matches the real 9-byte
+  header so message sizes stay realistic.
+* :mod:`repro.httpsim.doh` — the RFC 8484 mapping of DNS messages onto
+  HTTP: POST with ``application/dns-message`` bodies and GET with
+  base64url-encoded ``?dns=`` parameters.
+"""
+
+from repro.httpsim.h1 import (
+    H1RequestParser,
+    H1ResponseParser,
+    HttpRequest,
+    HttpResponse,
+    encode_request,
+    encode_response,
+)
+from repro.httpsim.h2 import (
+    FRAME_DATA,
+    FRAME_GOAWAY,
+    FRAME_HEADERS,
+    FRAME_RST_STREAM,
+    FRAME_SETTINGS,
+    H2ClientSession,
+    H2ServerSession,
+)
+from repro.httpsim.doh import (
+    CONTENT_TYPE_DNS,
+    DohCodecError,
+    decode_doh_request,
+    decode_doh_response,
+    encode_doh_request,
+    encode_doh_response,
+)
+
+__all__ = [
+    "CONTENT_TYPE_DNS",
+    "DohCodecError",
+    "FRAME_DATA",
+    "FRAME_GOAWAY",
+    "FRAME_HEADERS",
+    "FRAME_RST_STREAM",
+    "FRAME_SETTINGS",
+    "H1RequestParser",
+    "H1ResponseParser",
+    "H2ClientSession",
+    "H2ServerSession",
+    "HttpRequest",
+    "HttpResponse",
+    "decode_doh_request",
+    "decode_doh_response",
+    "encode_doh_request",
+    "encode_doh_response",
+    "encode_request",
+    "encode_response",
+]

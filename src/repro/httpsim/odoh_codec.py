@@ -1,0 +1,96 @@
+"""Oblivious DoH message encapsulation (RFC 9230, simulated sealing).
+
+ODoH separates *who you are* from *what you ask*: the client seals the DNS
+query to the target's public key and sends it via an oblivious proxy, so
+the proxy sees the client but not the query, and the target sees the query
+but not the client.
+
+The study's catalog contains four ``odoh-target-*.alekberg.net`` rows, so
+the reproduction implements the message flow.  Sealing is simulated — the
+wire format matches ODoH's shape (message type, key id, length-prefixed
+payload) and the "ciphertext" is an involutive byte transform, carrying no
+secrecy but making accidental plaintext handling fail loudly in tests.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import HttpError
+
+#: Media type of ODoH messages (RFC 9230 §5).
+CONTENT_TYPE_ODOH = "application/oblivious-dns-message"
+
+MESSAGE_TYPE_QUERY = 1
+MESSAGE_TYPE_RESPONSE = 2
+
+_HEADER = struct.Struct("!BHH")
+
+
+class OdohCodecError(HttpError):
+    """Raised for malformed oblivious DNS messages."""
+
+
+def _transform(data: bytes) -> bytes:
+    """Involutive stand-in for HPKE seal/open (xor with a fixed pad)."""
+    return bytes(byte ^ 0xA5 for byte in data)
+
+
+@dataclass(frozen=True)
+class OdohMessage:
+    """One sealed ODoH message."""
+
+    message_type: int
+    key_id: int
+    sealed: bytes
+
+    def to_wire(self) -> bytes:
+        return _HEADER.pack(self.message_type, self.key_id, len(self.sealed)) + self.sealed
+
+    @classmethod
+    def from_wire(cls, wire: bytes) -> "OdohMessage":
+        if len(wire) < _HEADER.size:
+            raise OdohCodecError("oblivious message shorter than its header")
+        message_type, key_id, length = _HEADER.unpack_from(wire, 0)
+        if message_type not in (MESSAGE_TYPE_QUERY, MESSAGE_TYPE_RESPONSE):
+            raise OdohCodecError(f"unknown oblivious message type {message_type}")
+        body = wire[_HEADER.size:]
+        if len(body) != length:
+            raise OdohCodecError(
+                f"oblivious payload length mismatch: header says {length}, got {len(body)}"
+            )
+        return cls(message_type=message_type, key_id=key_id, sealed=body)
+
+
+def seal_query(dns_wire: bytes, key_id: int) -> bytes:
+    """Client side: seal a DNS query toward the target's key."""
+    message = OdohMessage(MESSAGE_TYPE_QUERY, key_id, _transform(dns_wire))
+    return message.to_wire()
+
+
+def open_query(wire: bytes) -> Tuple[bytes, int]:
+    """Target side: open a sealed query; returns (dns_wire, key_id)."""
+    message = OdohMessage.from_wire(wire)
+    if message.message_type != MESSAGE_TYPE_QUERY:
+        raise OdohCodecError("expected a sealed query")
+    return _transform(message.sealed), message.key_id
+
+
+def seal_response(dns_wire: bytes, key_id: int) -> bytes:
+    """Target side: seal the DNS response under the query's key context."""
+    message = OdohMessage(MESSAGE_TYPE_RESPONSE, key_id, _transform(dns_wire))
+    return message.to_wire()
+
+
+def open_response(wire: bytes, expected_key_id: int) -> bytes:
+    """Client side: open a sealed response, checking the key context."""
+    message = OdohMessage.from_wire(wire)
+    if message.message_type != MESSAGE_TYPE_RESPONSE:
+        raise OdohCodecError("expected a sealed response")
+    if message.key_id != expected_key_id:
+        raise OdohCodecError(
+            f"response sealed under key {message.key_id}, expected {expected_key_id}"
+        )
+    return _transform(message.sealed)

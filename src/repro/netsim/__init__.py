@@ -1,0 +1,45 @@
+"""Deterministic discrete-event Internet simulator.
+
+This package provides the network substrate under the measurement platform:
+a virtual clock and event loop (:mod:`repro.netsim.clock`), a geography-aware
+latency model (:mod:`repro.netsim.latency`), a network fabric with unicast
+and anycast routing (:mod:`repro.netsim.network`), simulated hosts and
+sockets (:mod:`repro.netsim.host`, :mod:`repro.netsim.sockets`), and ICMP
+echo support (:mod:`repro.netsim.icmp`).
+
+The simulator models the *timing structure* of Internet paths — propagation
+delay, route inflation, queueing jitter, access-link delay, and packet loss —
+which is exactly what determines encrypted-DNS response times in the paper.
+It does not model bandwidth contention or congestion control; DNS messages
+are far below the bandwidth-delay product of any modern path.
+"""
+
+from repro.netsim.clock import EventLoop, Timer
+from repro.netsim.geo import Coordinates, great_circle_km
+from repro.netsim.latency import AccessProfile, LatencyModel, PathCharacteristics
+from repro.netsim.packet import Datagram, Segment
+from repro.netsim.network import Network
+from repro.netsim.host import Host
+from repro.netsim.sockets import SimTcpConnection, SimUdpSocket
+from repro.netsim.icmp import IcmpPolicy, PingResult
+from repro.netsim.trace import EventTrace, TraceEvent
+
+__all__ = [
+    "AccessProfile",
+    "Coordinates",
+    "Datagram",
+    "EventLoop",
+    "EventTrace",
+    "Host",
+    "IcmpPolicy",
+    "LatencyModel",
+    "Network",
+    "PathCharacteristics",
+    "PingResult",
+    "Segment",
+    "SimTcpConnection",
+    "SimUdpSocket",
+    "Timer",
+    "TraceEvent",
+    "great_circle_km",
+]

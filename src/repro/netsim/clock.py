@@ -1,0 +1,138 @@
+"""Virtual clock and discrete-event loop.
+
+All simulated time is measured in **milliseconds** as a ``float``.  The event
+loop is a plain heap-ordered scheduler: callbacks are scheduled at absolute
+virtual times and executed in order.  Ties break by insertion order, which
+keeps runs fully deterministic.
+
+The loop deliberately has no notion of wall-clock time; a full month-long
+measurement campaign runs in however long the Python executes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import ClockError
+
+
+class Timer:
+    """Handle for a scheduled event, supporting cancellation.
+
+    Returned by :meth:`EventLoop.call_at` / :meth:`EventLoop.call_later`.
+    Cancelling a timer is O(1); the dead entry is discarded lazily when the
+    heap pops it.
+    """
+
+    __slots__ = ("when", "_callback", "_args", "_cancelled", "_fired")
+
+    def __init__(self, when: float, callback: Callable[..., None], args: Tuple[Any, ...]):
+        self.when = when
+        self._callback = callback
+        self._args = args
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def _run(self) -> None:
+        if not self._cancelled:
+            self._fired = True
+            self._callback(*self._args)
+
+
+class EventLoop:
+    """Heap-based discrete-event scheduler with a millisecond virtual clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, Timer]] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of callbacks executed so far (for diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (possibly cancelled) events still queued."""
+        return len(self._heap)
+
+    def call_at(self, when: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise ClockError(
+                f"cannot schedule at t={when:.6f} ms; clock already at {self._now:.6f} ms"
+            )
+        timer = Timer(when, callback, args)
+        heapq.heappush(self._heap, (when, next(self._seq), timer))
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` after ``delay`` milliseconds."""
+        if delay < 0:
+            raise ClockError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events in order until the queue drains.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event would occur strictly after
+            this virtual time; the clock is advanced to ``until``.
+        max_events:
+            Safety valve for tests; raise :class:`ClockError` if exceeded.
+
+        Returns the virtual time at which the loop stopped.
+        """
+        if self._running:
+            raise ClockError("event loop is already running (re-entrant run())")
+        self._running = True
+        try:
+            processed = 0
+            while self._heap:
+                when, _seq, timer = self._heap[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._heap)
+                if timer.cancelled:
+                    continue
+                self._now = when
+                timer._run()
+                self._events_processed += 1
+                processed += 1
+                if max_events is not None and processed > max_events:
+                    raise ClockError(f"exceeded max_events={max_events}")
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Run all events within the next ``delta`` milliseconds."""
+        if delta < 0:
+            raise ClockError(f"negative advance {delta!r}")
+        return self.run(until=self._now + delta)

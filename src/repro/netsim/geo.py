@@ -1,0 +1,45 @@
+"""Geographic primitives: coordinates and great-circle distance.
+
+The latency model in :mod:`repro.netsim.latency` turns great-circle
+kilometres into propagation milliseconds, so every simulated host carries a
+:class:`Coordinates`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+EARTH_RADIUS_KM = 6371.0088  # mean Earth radius (IUGG)
+
+
+@dataclass(frozen=True)
+class Coordinates:
+    """A (latitude, longitude) pair in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ValueError(f"latitude {self.lat} out of range [-90, 90]")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ValueError(f"longitude {self.lon} out of range [-180, 180]")
+
+    def distance_km(self, other: "Coordinates") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return great_circle_km(self, other)
+
+
+def great_circle_km(a: Coordinates, b: Coordinates) -> float:
+    """Great-circle distance between two points using the haversine formula.
+
+    Accurate to ~0.5% (the Earth is not a perfect sphere), which is far
+    below the route-inflation uncertainty in the latency model.
+    """
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))

@@ -1,0 +1,144 @@
+"""ICMP echo (ping) support for simulated hosts.
+
+The paper pairs every DoH measurement with an ICMP ping to separate network
+latency from resolver processing.  Some resolvers do not answer ICMP at all
+(their figures show no ping distribution), which is modelled by the
+:class:`IcmpPolicy` attached to each host.
+
+Wire format: an ICMP message is a :class:`~repro.netsim.packet.Datagram`
+with ``protocol="icmp"`` whose payload is ``type(1B) | ident(4B, BE)``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.netsim.clock import Timer
+from repro.netsim.host import Host
+from repro.netsim.packet import Datagram
+
+ECHO_REQUEST = 8
+ECHO_REPLY = 0
+
+_HEADER = struct.Struct("!BI")
+
+
+@dataclass(frozen=True)
+class IcmpPolicy:
+    """How a host treats inbound echo requests.
+
+    Attributes
+    ----------
+    responds:
+        Whether echo requests are answered at all.  Many resolver
+        deployments filter ICMP; the paper shows no ping boxes for those.
+    process_delay_ms:
+        Fixed extra delay before the reply is sent (kernel/NIC time).
+    """
+
+    responds: bool = True
+    process_delay_ms: float = 0.05
+
+
+#: Default policy for hosts that never had one assigned.
+DEFAULT_POLICY = IcmpPolicy()
+
+
+@dataclass
+class PingResult:
+    """Outcome of one echo exchange."""
+
+    target_ip: str
+    rtt_ms: Optional[float]  # None on timeout
+
+    @property
+    def responded(self) -> bool:
+        return self.rtt_ms is not None
+
+
+class _PendingTable:
+    """Per-host table of outstanding echo requests, keyed by ident."""
+
+    def __init__(self) -> None:
+        self.next_ident = 1
+        self.callbacks: Dict[int, Callable[[float], None]] = {}
+
+
+def _pending(host: Host) -> _PendingTable:
+    table = getattr(host, "_icmp_table", None)
+    if table is None:
+        table = _PendingTable()
+        host._icmp_table = table  # type: ignore[attr-defined]
+    return table
+
+
+def ping(
+    host: Host,
+    dst_ip: str,
+    on_result: Callable[[PingResult], None],
+    timeout_ms: float = 3000.0,
+) -> None:
+    """Send one echo request from ``host`` to ``dst_ip``.
+
+    ``on_result`` always fires exactly once: either with the measured RTT
+    or, after ``timeout_ms``, with ``rtt_ms=None``.
+    """
+    assert host.network is not None, f"{host.name} not attached"
+    network = host.network
+    table = _pending(host)
+    ident = table.next_ident
+    table.next_ident += 1
+    sent_at = network.loop.now
+    timeout_timer: Optional[Timer] = None
+
+    def on_reply(received_at: float) -> None:
+        if timeout_timer is not None:
+            timeout_timer.cancel()
+        on_result(PingResult(target_ip=dst_ip, rtt_ms=received_at - sent_at))
+
+    def on_timeout() -> None:
+        table.callbacks.pop(ident, None)
+        on_result(PingResult(target_ip=dst_ip, rtt_ms=None))
+
+    table.callbacks[ident] = on_reply
+    timeout_timer = network.loop.call_later(timeout_ms, on_timeout)
+    request = Datagram(
+        src_ip=host.ip,
+        src_port=0,
+        dst_ip=dst_ip,
+        dst_port=0,
+        payload=_HEADER.pack(ECHO_REQUEST, ident),
+        protocol="icmp",
+    )
+    network.transmit(host, request)
+
+
+def handle_icmp(host: Host, dgram: Datagram) -> None:
+    """Host-side ICMP dispatch (called from :meth:`Host.deliver_datagram`)."""
+    if len(dgram.payload) < _HEADER.size:
+        return
+    msg_type, ident = _HEADER.unpack_from(dgram.payload)
+    if msg_type == ECHO_REQUEST:
+        policy = host.icmp_policy if host.icmp_policy is not None else DEFAULT_POLICY
+        if not policy.responds:
+            return
+        assert host.network is not None
+        reply = Datagram(
+            src_ip=dgram.dst_ip,
+            src_port=0,
+            dst_ip=dgram.src_ip,
+            dst_port=0,
+            payload=_HEADER.pack(ECHO_REPLY, ident),
+            protocol="icmp",
+        )
+        host.network.loop.call_later(
+            policy.process_delay_ms, host.network.transmit, host, reply
+        )
+    elif msg_type == ECHO_REPLY:
+        table = _pending(host)
+        callback = table.callbacks.pop(ident, None)
+        if callback is not None:
+            assert host.network is not None
+            callback(host.network.loop.now)

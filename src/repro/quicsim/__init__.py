@@ -1,0 +1,33 @@
+"""Simulated QUIC, for DNS-over-QUIC (RFC 9250).
+
+QUIC folds the transport and TLS 1.3 handshakes into one round trip over
+UDP — a fresh DoQ query costs 2 × RTT where fresh DoH costs 3 — and its
+0-RTT resumption lets a repeat query ride the first flight (1 × RTT).
+The reproduction's calibration notes call DoQ out explicitly, and several
+study operators (AdGuard, NextDNS) run it in production, so the substrate
+models it:
+
+* :mod:`repro.quicsim.packets` — packet/frame codec over simulated UDP
+  (Initial padding to 1200 B, packet numbers, crypto/stream/ack frames);
+* :mod:`repro.quicsim.connection` — client and server connections with
+  the 1-RTT handshake, ticket-based 0-RTT, per-stream reassembly, and
+  PTO-based loss recovery.
+
+Cryptography is simulated exactly as in :mod:`repro.tlssim`: flight sizes
+and round trips are faithful, secrecy is out of scope.
+"""
+
+from repro.quicsim.connection import (
+    QuicClientConnection,
+    QuicConfig,
+    QuicServerListener,
+)
+from repro.quicsim.packets import INITIAL_MIN_BYTES, MAX_DATAGRAM_BYTES
+
+__all__ = [
+    "INITIAL_MIN_BYTES",
+    "MAX_DATAGRAM_BYTES",
+    "QuicClientConnection",
+    "QuicConfig",
+    "QuicServerListener",
+]

@@ -1,0 +1,124 @@
+"""TTL- and LRU-bounded DNS cache.
+
+Entries are keyed by ``(name, type, class)`` and expire at their TTL
+horizon measured on the virtual clock.  Hits return records with TTLs
+decremented by the time spent in cache, as a real resolver does.  Negative
+answers (NXDOMAIN / NODATA) are cached under the SOA-minimum convention
+(RFC 2308).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dnswire.message import ResourceRecord
+from repro.dnswire.name import Name
+
+CacheKey = Tuple[Name, int, int]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for observability and tests."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    evictions: int = 0
+    negative_hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    records: List[ResourceRecord]
+    stored_at: float
+    expires_at: float
+    negative_rcode: Optional[int] = None  # set for cached negative answers
+
+
+@dataclass
+class CachedAnswer:
+    """A cache hit: records with decremented TTLs, or a negative rcode."""
+
+    records: List[ResourceRecord] = field(default_factory=list)
+    negative_rcode: Optional[int] = None
+
+    @property
+    def is_negative(self) -> bool:
+        return self.negative_rcode is not None
+
+
+class DnsCache:
+    """The resolver's answer cache."""
+
+    def __init__(self, max_entries: int = 10_000) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def get(self, key: CacheKey, now_ms: float) -> Optional[CachedAnswer]:
+        """Look up an answer; None on miss or expiry."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if now_ms >= entry.expires_at:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        age_seconds = int((now_ms - entry.stored_at) / 1000.0)
+        if entry.negative_rcode is not None:
+            self.stats.hits += 1
+            self.stats.negative_hits += 1
+            return CachedAnswer(negative_rcode=entry.negative_rcode)
+        self.stats.hits += 1
+        records = [r.with_ttl(max(0, r.ttl - age_seconds)) for r in entry.records]
+        return CachedAnswer(records=records)
+
+    def put(self, key: CacheKey, records: List[ResourceRecord], now_ms: float) -> None:
+        """Cache a positive answer; lifetime is the minimum record TTL."""
+        if not records:
+            return
+        ttl_seconds = min(record.ttl for record in records)
+        self._store(key, _Entry(records=list(records), stored_at=now_ms,
+                                expires_at=now_ms + ttl_seconds * 1000.0))
+
+    def put_negative(self, key: CacheKey, rcode: int, ttl_seconds: int, now_ms: float) -> None:
+        """Cache a negative answer for ``ttl_seconds`` (RFC 2308)."""
+        self._store(
+            key,
+            _Entry(
+                records=[],
+                stored_at=now_ms,
+                expires_at=now_ms + ttl_seconds * 1000.0,
+                negative_rcode=rcode,
+            ),
+        )
+
+    def _store(self, key: CacheKey, entry: _Entry) -> None:
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = entry
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries

@@ -1,0 +1,38 @@
+"""Simulated TLS.
+
+This package models the parts of TLS that determine encrypted-DNS timing:
+
+* handshake **round trips** — TLS 1.3 costs one RTT before application data,
+  TLS 1.2 costs two;
+* **flight sizes** — certificate chains make the server's first flight span
+  multiple TCP segments;
+* **session resumption** — resumed handshakes carry no certificate, and TLS
+  1.3 early data (0-RTT) lets the first request ride along with the
+  ClientHello;
+* **failure modes** — version mismatch and server aborts surface as alerts.
+
+It does not implement cryptography: payloads are structured plaintext of
+realistic sizes.  The record layer (:mod:`repro.tlssim.record`) frames
+messages exactly like TLS (5-byte headers), so byte counts and segmentation
+behave like the real protocol.
+"""
+
+from repro.tlssim.record import RecordStream, wrap_record
+from repro.tlssim.session import SessionCache, SessionTicket
+from repro.tlssim.handshake import (
+    TlsClientConfig,
+    TlsClientConnection,
+    TlsServerConfig,
+    TlsServerConnection,
+)
+
+__all__ = [
+    "RecordStream",
+    "SessionCache",
+    "SessionTicket",
+    "TlsClientConfig",
+    "TlsClientConnection",
+    "TlsServerConfig",
+    "TlsServerConnection",
+    "wrap_record",
+]

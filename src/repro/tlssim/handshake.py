@@ -1,0 +1,532 @@
+"""TLS handshake state machines (client and server) over simulated TCP.
+
+Handshake messages use the real framing — ``msg_type(1) | length(3) | body``
+inside handshake records — with JSON bodies padded to realistic sizes, so
+flight sizes and segmentation match the protocols being modelled:
+
+========================  =========================  =====================
+Handshake                 Client flights             RTTs before app data
+========================  =========================  =====================
+TLS 1.3 full              CH | Fin (+app)            1
+TLS 1.3 resumed (PSK)     CH | Fin (+app)            1 (no cert flight)
+TLS 1.3 0-RTT             CH+app                     0
+TLS 1.2 full              CH | CKE+CCS+Fin           2
+TLS 1.2 resumed           CH | CCS+Fin               1
+========================  =========================  =====================
+
+Cryptographic verification is out of scope; timing, flight sizes, version
+and ALPN negotiation, resumption, and failure alerts are in scope.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TlsHandshakeError
+from repro.netsim.sockets import SimTcpConnection
+from repro.tlssim.record import (
+    CONTENT_ALERT,
+    CONTENT_APPLICATION_DATA,
+    CONTENT_HANDSHAKE,
+    RecordStream,
+    wrap_record,
+)
+from repro.tlssim.session import SessionCache, SessionTicket
+
+# Handshake message types (RFC 8446 / 5246 values).
+CLIENT_HELLO = 1
+SERVER_HELLO = 2
+NEW_SESSION_TICKET = 4
+ENCRYPTED_EXTENSIONS = 8
+CERTIFICATE = 11
+SERVER_HELLO_DONE = 14
+CLIENT_KEY_EXCHANGE = 16
+FINISHED = 20
+CHANGE_CIPHER_SPEC = 254  # modelled as a handshake message for simplicity
+
+# Typical message sizes (bytes) used for padding.
+SIZE_CLIENT_HELLO = 280
+SIZE_SERVER_HELLO = 120
+SIZE_ENCRYPTED_EXT = 40
+SIZE_FINISHED = 52
+SIZE_KEY_EXCHANGE = 140
+SIZE_TICKET = 208
+SIZE_CCS = 6
+
+_HS_HEADER = struct.Struct("!B3s")
+
+
+def _encode_handshake(msg_type: int, fields: Dict, min_size: int) -> bytes:
+    body = json.dumps(fields, separators=(",", ":")).encode("ascii")
+    if len(body) < min_size:
+        body += b" " * (min_size - len(body))
+    return _HS_HEADER.pack(msg_type, len(body).to_bytes(3, "big")) + body
+
+
+def _decode_handshakes(body: bytes) -> List[Tuple[int, Dict]]:
+    """Parse concatenated handshake messages from one record body."""
+    messages = []
+    cursor = 0
+    while cursor < len(body):
+        if cursor + 4 > len(body):
+            raise TlsHandshakeError("truncated handshake header")
+        msg_type = body[cursor]
+        length = int.from_bytes(body[cursor + 1 : cursor + 4], "big")
+        cursor += 4
+        if cursor + length > len(body):
+            raise TlsHandshakeError("truncated handshake body")
+        payload = body[cursor : cursor + length].rstrip(b" ")
+        cursor += length
+        messages.append((msg_type, json.loads(payload) if payload else {}))
+    return messages
+
+
+@dataclass
+class TlsClientConfig:
+    """Client-side handshake preferences."""
+
+    versions: Sequence[str] = ("1.3", "1.2")
+    alpn: Sequence[str] = ("h2", "http/1.1")
+    session_cache: Optional[SessionCache] = None
+    enable_early_data: bool = True
+    crypto_delay_ms: float = 0.3
+
+
+@dataclass
+class TlsServerConfig:
+    """Server-side handshake policy."""
+
+    versions: Sequence[str] = ("1.3", "1.2")
+    alpn_preference: Sequence[str] = ("h2", "http/1.1")
+    cert_chain_bytes: int = 2800
+    crypto_delay_ms: float = 0.5
+    issue_tickets: bool = True
+    allow_early_data: bool = True
+    ticket_lifetime_ms: float = 7 * 24 * 3600 * 1000.0
+
+
+class _TlsEndpoint:
+    """Shared plumbing: record stream parsing and application data callbacks."""
+
+    def __init__(self, tcp: SimTcpConnection) -> None:
+        self.tcp = tcp
+        self.stream = RecordStream()
+        self.negotiated_version: Optional[str] = None
+        self.negotiated_alpn: Optional[str] = None
+        self.established = False
+        self.on_application_data: Optional[Callable[[bytes], None]] = None
+        self.on_error: Optional[Callable[[Exception], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.handshake_bytes = 0
+        tcp.on_data = self._on_tcp_data
+        tcp.on_close = self._on_tcp_close
+        tcp.on_error = self._on_tcp_error
+
+    @property
+    def loop(self):
+        assert self.tcp.host.network is not None
+        return self.tcp.host.network.loop
+
+    def send_application(self, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _send_record(self, content_type: int, body: bytes) -> None:
+        if self.tcp.state != self.tcp.ESTABLISHED:
+            # The connection went away under a scheduled protocol action
+            # (e.g. the client closed right after a 0-RTT response while a
+            # Finished was still queued behind a crypto delay).  Dropping is
+            # what a real stack's teardown does to pending writes.
+            return
+        if content_type == CONTENT_HANDSHAKE:
+            self.handshake_bytes += len(body)
+        self.tcp.send(wrap_record(content_type, body))
+
+    def _on_tcp_data(self, data: bytes) -> None:
+        try:
+            records = self.stream.feed(data)
+        except Exception as exc:  # malformed record layer
+            self._fail(TlsHandshakeError(str(exc)))
+            return
+        for content_type, body in records:
+            if content_type == CONTENT_ALERT:
+                self._fail(TlsHandshakeError(f"fatal alert: {body.decode('ascii', 'replace')}"))
+                return
+            if content_type == CONTENT_APPLICATION_DATA:
+                self._handle_application(body)
+            elif content_type == CONTENT_HANDSHAKE:
+                try:
+                    for msg_type, fields in _decode_handshakes(body):
+                        self.handshake_bytes += len(body)
+                        self._handle_handshake(msg_type, fields)
+                except TlsHandshakeError as exc:
+                    self._fail(exc)
+                    return
+
+    def _handle_application(self, body: bytes) -> None:
+        if self.on_application_data is not None:
+            self.on_application_data(body)
+
+    def _handle_handshake(self, msg_type: int, fields: Dict) -> None:
+        raise NotImplementedError
+
+    def _send_alert(self, reason: str) -> None:
+        try:
+            self._send_record(CONTENT_ALERT, reason.encode("ascii"))
+        except Exception:
+            pass
+
+    def _fail(self, exc: Exception) -> None:
+        callback = self.on_error
+        self.on_error = None
+        self.tcp.close()
+        if callback is not None:
+            callback(exc)
+
+    def _on_tcp_close(self) -> None:
+        if self.on_close is not None:
+            self.on_close()
+
+    def _on_tcp_error(self, exc: Exception) -> None:
+        callback = self.on_error
+        self.on_error = None
+        if callback is not None:
+            callback(exc)
+
+    def close(self) -> None:
+        self.tcp.close()
+
+
+class TlsClientConnection(_TlsEndpoint):
+    """Client side of a simulated TLS connection.
+
+    Create over an **established** TCP connection; ``on_established(self)``
+    fires when application data may flow (for 0-RTT that is immediate).
+    """
+
+    def __init__(
+        self,
+        tcp: SimTcpConnection,
+        server_name: str,
+        config: Optional[TlsClientConfig] = None,
+        on_established: Optional[Callable[["TlsClientConnection"], None]] = None,
+        on_error: Optional[Callable[[Exception], None]] = None,
+    ) -> None:
+        super().__init__(tcp)
+        self.server_name = server_name
+        self.config = config or TlsClientConfig()
+        self.on_error = on_error
+        self._on_established = on_established
+        self._app_queue: List[bytes] = []
+        self._early_sent: List[bytes] = []
+        self._can_send_app = False
+        self.used_early_data = False
+        self.resumed = False
+        self.handshake_started_at = self.loop.now
+        self.handshake_completed_at: Optional[float] = None
+        self._start()
+
+    def _start(self) -> None:
+        ticket: Optional[SessionTicket] = None
+        cache = self.config.session_cache
+        if cache is not None:
+            ticket = cache.lookup(self.server_name, self.loop.now)
+        hello = {
+            "versions": list(self.config.versions),
+            "sni": self.server_name,
+            "alpn": list(self.config.alpn),
+        }
+        if ticket is not None:
+            hello["ticket"] = ticket.ticket_id
+            hello["ticket_version"] = ticket.version
+            if (
+                self.config.enable_early_data
+                and ticket.version == "1.3"
+                and ticket.allows_early_data
+            ):
+                hello["early_data"] = True
+                self.used_early_data = True
+
+        def send_hello() -> None:
+            self._send_record(
+                CONTENT_HANDSHAKE, _encode_handshake(CLIENT_HELLO, hello, SIZE_CLIENT_HELLO)
+            )
+            if self.used_early_data:
+                # 0-RTT: application data may ride immediately behind the CH.
+                self._can_send_app = True
+                self._flush_app_queue()
+                self._mark_established()
+
+        self.loop.call_later(self.config.crypto_delay_ms, send_hello)
+
+    def send_application(self, data: bytes) -> None:
+        """Send application bytes, queueing until the handshake permits."""
+        if self._can_send_app:
+            if self.used_early_data and self.negotiated_version is None:
+                # Still in the 0-RTT window: remember for possible replay.
+                self._early_sent.append(data)
+            self._send_record(CONTENT_APPLICATION_DATA, data)
+        else:
+            self._app_queue.append(data)
+
+    def _flush_app_queue(self) -> None:
+        queue, self._app_queue = self._app_queue, []
+        for data in queue:
+            # Route through send_application so 0-RTT data is recorded for
+            # replay in case the server rejects early data.
+            self.send_application(data)
+
+    def _mark_established(self) -> None:
+        if self.established:
+            return
+        self.established = True
+        self.handshake_completed_at = self.loop.now
+        callback = self._on_established
+        self._on_established = None
+        if callback is not None:
+            callback(self)
+
+    def _handle_handshake(self, msg_type: int, fields: Dict) -> None:
+        if msg_type == SERVER_HELLO:
+            self.negotiated_version = fields.get("version")
+            self.negotiated_alpn = fields.get("alpn")
+            self.resumed = bool(fields.get("resumed"))
+            if self.used_early_data and not fields.get("early_data_accepted", False):
+                # Server rejected 0-RTT: everything sent early was discarded
+                # by the server, so replay it once the handshake completes.
+                self.used_early_data = False
+                self._can_send_app = False
+                self.established = False
+                self._app_queue = self._early_sent + self._app_queue
+            self._early_sent = []
+            if self.negotiated_version == "1.3":
+                # Server flight continues with EE/Cert/Finished in this record
+                # sequence; client may talk after sending its Finished.
+                pass
+        elif msg_type == FINISHED:
+            def complete(send_finished: bool, send_ccs: bool) -> None:
+                if send_finished:
+                    flight = b""
+                    if send_ccs:
+                        flight += _encode_handshake(CHANGE_CIPHER_SPEC, {}, SIZE_CCS)
+                    flight += _encode_handshake(FINISHED, {}, SIZE_FINISHED)
+                    self._send_record(CONTENT_HANDSHAKE, flight)
+                self._can_send_app = True
+                self._flush_app_queue()
+                self._mark_established()
+
+            if self.negotiated_version == "1.3":
+                # Server Finished ends its first flight; answer with ours.
+                self.loop.call_later(self.config.crypto_delay_ms, complete, True, False)
+            elif self.resumed:
+                # TLS 1.2 abbreviated handshake: answer CCS + Finished.
+                self.loop.call_later(self.config.crypto_delay_ms, complete, True, True)
+            elif fields.get("final"):
+                # TLS 1.2 full handshake: our Finished already went out in the
+                # second flight; the server's final Finished unlocks app data.
+                complete(False, False)
+        elif msg_type == SERVER_HELLO_DONE:
+            # TLS 1.2 full handshake: send CKE + CCS + Finished, wait for
+            # the server's Finished (which carries final=True).
+            def second_flight() -> None:
+                flight = (
+                    _encode_handshake(CLIENT_KEY_EXCHANGE, {}, SIZE_KEY_EXCHANGE)
+                    + _encode_handshake(CHANGE_CIPHER_SPEC, {}, SIZE_CCS)
+                    + _encode_handshake(FINISHED, {}, SIZE_FINISHED)
+                )
+                self._send_record(CONTENT_HANDSHAKE, flight)
+
+            self.loop.call_later(self.config.crypto_delay_ms, second_flight)
+        elif msg_type == CHANGE_CIPHER_SPEC:
+            pass  # timing carried by the Finished that follows
+        elif msg_type == NEW_SESSION_TICKET:
+            cache = self.config.session_cache
+            if cache is not None:
+                cache.store(
+                    SessionTicket(
+                        ticket_id=fields["ticket"],
+                        server_name=self.server_name,
+                        version=fields.get("version", "1.3"),
+                        allows_early_data=bool(fields.get("early_data")),
+                        issued_at_ms=self.loop.now,
+                        lifetime_ms=float(fields.get("lifetime_ms", 7 * 24 * 3600 * 1000.0)),
+                    )
+                )
+        elif msg_type == CERTIFICATE:
+            pass  # size effect only
+
+    @property
+    def handshake_duration_ms(self) -> Optional[float]:
+        if self.handshake_completed_at is None:
+            return None
+        return self.handshake_completed_at - self.handshake_started_at
+
+
+class TlsServerConnection(_TlsEndpoint):
+    """Server side of a simulated TLS connection (wraps an accepted TCP conn)."""
+
+    def __init__(
+        self,
+        tcp: SimTcpConnection,
+        config: Optional[TlsServerConfig] = None,
+        on_established: Optional[Callable[["TlsServerConnection"], None]] = None,
+        on_error: Optional[Callable[[Exception], None]] = None,
+        now_provider: Optional[Callable[[], float]] = None,
+    ) -> None:
+        super().__init__(tcp)
+        self.config = config or TlsServerConfig()
+        self.on_error = on_error
+        self._on_established = on_established
+        self.client_sni: Optional[str] = None
+        self.resumed = False
+        self.early_data_accepted = False
+        self._tickets_issued: Dict[int, bool] = {}
+        self._early_buffer: List[bytes] = []
+
+    def send_application(self, data: bytes) -> None:
+        self._send_record(CONTENT_APPLICATION_DATA, data)
+
+    def _handle_application(self, body: bytes) -> None:
+        if not self.established and not self.early_data_accepted:
+            if self.negotiated_version is None:
+                # Data raced ahead of the ClientHello decision: buffer it and
+                # deliver (or discard) once the hello is processed.
+                self._early_buffer.append(body)
+            # else: rejected early data — discard, the client will replay.
+            return
+        super()._handle_application(body)
+
+    def _handle_handshake(self, msg_type: int, fields: Dict) -> None:
+        if msg_type == CLIENT_HELLO:
+            self._handle_client_hello(fields)
+        elif msg_type == FINISHED:
+            self._client_finished()
+        elif msg_type in (CLIENT_KEY_EXCHANGE, CHANGE_CIPHER_SPEC):
+            pass
+
+    def _handle_client_hello(self, hello: Dict) -> None:
+        self.client_sni = hello.get("sni")
+        client_versions = hello.get("versions", [])
+        version = next((v for v in self.config.versions if v in client_versions), None)
+        if version is None:
+            self._send_alert("protocol_version")
+            self.tcp.close()
+            return
+        client_alpn = hello.get("alpn", [])
+        alpn = next((a for a in self.config.alpn_preference if a in client_alpn), None)
+        if client_alpn and alpn is None:
+            self._send_alert("no_application_protocol")
+            self.tcp.close()
+            return
+        self.negotiated_version = version
+        self.negotiated_alpn = alpn
+        ticket_id = hello.get("ticket")
+        ticket_known = ticket_id is not None and ticket_id in self._ticket_registry()
+        self.resumed = ticket_known and hello.get("ticket_version") == version
+        wants_early = bool(hello.get("early_data"))
+        self.early_data_accepted = (
+            wants_early and self.resumed and version == "1.3" and self.config.allow_early_data
+        )
+        buffered, self._early_buffer = self._early_buffer, []
+        if self.early_data_accepted:
+            for body in buffered:
+                super()._handle_application(body)
+        # else: buffered 0-RTT data is discarded; the client replays it.
+
+        def send_flight() -> None:
+            server_hello = {
+                "version": version,
+                "alpn": alpn,
+                "resumed": self.resumed,
+                "early_data_accepted": self.early_data_accepted,
+            }
+            flight = _encode_handshake(SERVER_HELLO, server_hello, SIZE_SERVER_HELLO)
+            if version == "1.3":
+                flight += _encode_handshake(ENCRYPTED_EXTENSIONS, {}, SIZE_ENCRYPTED_EXT)
+                if not self.resumed:
+                    flight += _encode_handshake(
+                        CERTIFICATE, {}, self.config.cert_chain_bytes
+                    )
+                flight += _encode_handshake(FINISHED, {}, SIZE_FINISHED)
+                self._send_record(CONTENT_HANDSHAKE, flight)
+                if self.early_data_accepted:
+                    # Early data is usable now; the server may answer without
+                    # waiting for the client Finished.
+                    self._mark_established()
+            else:  # TLS 1.2
+                if self.resumed:
+                    flight += _encode_handshake(CHANGE_CIPHER_SPEC, {}, SIZE_CCS)
+                    flight += _encode_handshake(
+                        FINISHED, {"final": True}, SIZE_FINISHED
+                    )
+                else:
+                    flight += _encode_handshake(
+                        CERTIFICATE, {}, self.config.cert_chain_bytes
+                    )
+                    flight += _encode_handshake(SERVER_HELLO_DONE, {}, 8)
+                self._send_record(CONTENT_HANDSHAKE, flight)
+
+        self.loop.call_later(self.config.crypto_delay_ms, send_flight)
+
+    def _client_finished(self) -> None:
+        if self.negotiated_version == "1.2" and not self.resumed:
+            # Answer with CCS + Finished(final), completing the 2-RTT handshake.
+            def final_flight() -> None:
+                flight = _encode_handshake(CHANGE_CIPHER_SPEC, {}, SIZE_CCS)
+                flight += _encode_handshake(FINISHED, {"final": True}, SIZE_FINISHED)
+                self._send_record(CONTENT_HANDSHAKE, flight)
+                self._mark_established()
+                self._maybe_issue_ticket()
+
+            self.loop.call_later(self.config.crypto_delay_ms, final_flight)
+            return
+        self._mark_established()
+        self._maybe_issue_ticket()
+
+    def _mark_established(self) -> None:
+        if self.established:
+            return
+        self.established = True
+        callback = self._on_established
+        self._on_established = None
+        if callback is not None:
+            callback(self)
+
+    def _maybe_issue_ticket(self) -> None:
+        if not self.config.issue_tickets or self.negotiated_version is None:
+            return
+        ticket = SessionTicket.issue(
+            server_name=self.client_sni or "",
+            version=self.negotiated_version,
+            allows_early_data=self.config.allow_early_data
+            and self.negotiated_version == "1.3",
+            now_ms=self.loop.now,
+            lifetime_ms=self.config.ticket_lifetime_ms,
+        )
+        self._ticket_registry()[ticket.ticket_id] = True
+        self._send_record(
+            CONTENT_HANDSHAKE,
+            _encode_handshake(
+                NEW_SESSION_TICKET,
+                {
+                    "ticket": ticket.ticket_id,
+                    "version": ticket.version,
+                    "early_data": ticket.allows_early_data,
+                    "lifetime_ms": ticket.lifetime_ms,
+                },
+                SIZE_TICKET,
+            ),
+        )
+
+    # The ticket registry is shared per server host so that a new connection
+    # (new TlsServerConnection instance) can validate tickets issued by a
+    # previous one.  It lives on the host object.
+    def _ticket_registry(self) -> Dict[int, bool]:
+        host = self.tcp.host
+        registry = getattr(host, "_tls_ticket_registry", None)
+        if registry is None:
+            registry = {}
+            host._tls_ticket_registry = registry  # type: ignore[attr-defined]
+        return registry

@@ -1,0 +1,37 @@
+"""Web page-load modelling: the paper's stated future work.
+
+§3 (Limitations): "we do not measure how encrypted DNS affects application
+performance, such as web page load time ... doing so would be a natural
+direction for future work."  This package implements that direction on the
+simulated substrate, in the spirit of Hounsel et al. and WProf:
+
+* :mod:`repro.webload.page` — page specifications: objects, sizes, the
+  domains they load from, and discovery dependencies;
+* :mod:`repro.webload.server` — static HTTPS servers hosting the objects;
+* :mod:`repro.webload.dnsclient` — a client-side stub resolver (DoH or
+  Do53 upstream) with its own TTL cache, as a browser would run;
+* :mod:`repro.webload.loader` — the page loader: resolves, pools one
+  HTTP/2 connection per origin, honours discovery dependencies, and
+  reports page load time with a DNS-time breakdown;
+* :mod:`repro.webload.world` — attaches web servers for the simulated
+  zones' addresses to an existing measurement world.
+"""
+
+from repro.webload.page import ObjectSpec, PageSpec, news_site_page, simple_page
+from repro.webload.server import StaticWebServer
+from repro.webload.dnsclient import StubResolver, StubResolverConfig
+from repro.webload.loader import PageLoadResult, PageLoader
+from repro.webload.world import attach_web_servers
+
+__all__ = [
+    "ObjectSpec",
+    "PageLoadResult",
+    "PageLoader",
+    "PageSpec",
+    "StaticWebServer",
+    "StubResolver",
+    "StubResolverConfig",
+    "attach_web_servers",
+    "news_site_page",
+    "simple_page",
+]

@@ -1,0 +1,99 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.netsim.clock import EventLoop
+from repro.netsim.geo import Coordinates
+from repro.netsim.host import Host
+from repro.netsim.latency import AccessProfile, LatencyModel
+from repro.netsim.network import Network
+from repro.netsim.trace import EventTrace
+
+#: A zero-delay, zero-jitter, zero-loss access profile for exact-timing tests.
+QUIET = AccessProfile("quiet", delay_ms=0.0, jitter_ms=0.0, loss_rate=0.0)
+
+
+def make_quiet_network(seed: int = 0, trace: bool = False) -> Network:
+    """A network with no jitter and no loss: timings are exact RTT multiples."""
+    model = LatencyModel.internet_default()
+    model.core_jitter_ms = 0.0
+    model.core_loss_rate = 0.0
+    return Network(
+        loop=EventLoop(),
+        latency_model=model,
+        seed=seed,
+        trace=EventTrace() if trace else None,
+    )
+
+
+def add_host(
+    network: Network,
+    name: str,
+    ip: str,
+    lat: float = 40.0,
+    lon: float = -83.0,
+    continent: str = "NA",
+    access: AccessProfile = QUIET,
+) -> Host:
+    return network.attach(Host(name, ip, Coordinates(lat, lon), continent, access))
+
+
+@pytest.fixture
+def quiet_net() -> Network:
+    return make_quiet_network()
+
+
+@pytest.fixture
+def traced_net() -> Network:
+    return make_quiet_network(trace=True)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+# ---------------------------------------------------------------------------
+# A reduced world for integration tests: a handful of representative
+# resolvers instead of all 91, so world construction stays fast.
+# ---------------------------------------------------------------------------
+
+MINI_CATALOG_HOSTNAMES = (
+    "dns.google",                  # mainstream anycast
+    "dns.quad9.net",               # mainstream anycast
+    "security.cloudflare-dns.com", # mainstream anycast
+    "ordns.he.net",                # non-mainstream anycast (NA)
+    "dns.brahma.world",            # non-mainstream unicast (EU)
+    "dns.twnic.tw",                # non-mainstream unicast (AS)
+    "dns.alidns.com",              # non-mainstream anycast (AS)
+    "doh.ffmuc.net",               # slow/flaky (EU)
+    "odoh-target.alekberg.net",    # ODoH target (NA)
+    "ibksturm.synology.me",        # TLS 1.2-only, HTTP/1.1-only
+    "dns.pumplex.com",             # dead
+)
+
+
+def make_mini_world(seed: int = 0, warm: bool = True):
+    from repro.catalog.resolvers import CATALOG
+    from repro.experiments.world import build_world
+
+    catalog = [e for e in CATALOG if e.hostname in MINI_CATALOG_HOSTNAMES]
+    return build_world(seed=seed, catalog=catalog, warm_caches=warm)
+
+
+@pytest.fixture(scope="session")
+def mini_world():
+    """A session-scoped small world.  Tests must not mutate topology."""
+    return make_mini_world()
+
+
+@pytest.fixture(scope="session")
+def full_world():
+    """The full 91-resolver world (built once per test session)."""
+    from repro.experiments.world import build_world
+
+    return build_world(seed=0)

@@ -1,0 +1,153 @@
+"""Tests for DNS stamps and the DNSCrypt public-list scraper."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.catalog.sources import (
+    doh_resolvers,
+    parse_public_resolvers,
+    sample_public_resolvers_md,
+)
+from repro.catalog.stamps import (
+    PROP_DNSSEC,
+    PROP_NO_FILTER,
+    PROP_NO_LOGS,
+    PROTOCOL_DOH,
+    PROTOCOL_DOT,
+    PROTOCOL_PLAIN,
+    Stamp,
+    StampError,
+    decode_stamp,
+    doh_stamp,
+    encode_stamp,
+)
+
+
+class TestStampCodec:
+    def test_doh_round_trip(self):
+        stamp = Stamp(
+            protocol=PROTOCOL_DOH,
+            props=PROP_DNSSEC | PROP_NO_LOGS,
+            address="9.9.9.9",
+            hostname="dns.quad9.net",
+            path="/dns-query",
+            hashes=(bytes(range(32)),),
+        )
+        decoded = decode_stamp(encode_stamp(stamp))
+        assert decoded == stamp
+        assert decoded.dnssec and decoded.no_logs and not decoded.no_filter
+
+    def test_plain_round_trip(self):
+        stamp = Stamp(protocol=PROTOCOL_PLAIN, props=0, address="8.8.8.8:53")
+        assert decode_stamp(encode_stamp(stamp)) == stamp
+
+    def test_dot_round_trip(self):
+        stamp = Stamp(
+            protocol=PROTOCOL_DOT, props=PROP_NO_FILTER,
+            address="", hostname="dot.example",
+        )
+        decoded = decode_stamp(encode_stamp(stamp))
+        assert decoded.hostname == "dot.example"
+        assert decoded.protocol_name == "dot"
+
+    def test_uri_shape(self):
+        uri = encode_stamp(doh_stamp("dns.example"))
+        assert uri.startswith("sdns://")
+        assert "=" not in uri  # unpadded base64url
+
+    def test_multiple_hashes(self):
+        stamp = Stamp(
+            protocol=PROTOCOL_DOH, props=0, address="",
+            hostname="h.example", path="/q",
+            hashes=(b"\x01" * 32, b"\x02" * 32),
+        )
+        assert decode_stamp(encode_stamp(stamp)).hashes == stamp.hashes
+
+    def test_not_a_stamp_rejected(self):
+        with pytest.raises(StampError):
+            decode_stamp("https://example.com")
+
+    def test_bad_base64_rejected(self):
+        with pytest.raises(StampError):
+            decode_stamp("sdns://!!!")
+
+    def test_truncated_payload_rejected(self):
+        with pytest.raises(StampError):
+            decode_stamp("sdns://AAAA")  # protocol byte + 2 bytes of props
+
+    def test_unsupported_protocol_rejected(self):
+        with pytest.raises(StampError):
+            decode_stamp("sdns://cnViYmlzaA")
+
+    def test_trailing_bytes_rejected(self):
+        import base64
+
+        good = encode_stamp(doh_stamp("dns.example"))
+        raw = base64.urlsafe_b64decode(good[len("sdns://"):] + "==")
+        padded = base64.urlsafe_b64encode(raw + b"\x00").rstrip(b"=").decode()
+        with pytest.raises(StampError):
+            decode_stamp(f"sdns://{padded}")
+
+    def test_doh_stamp_default_props(self):
+        stamp = doh_stamp("dns.example")
+        assert stamp.dnssec and stamp.no_logs and stamp.no_filter
+        assert stamp.path == "/dns-query"
+
+    @given(
+        hostname=st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz.-", min_size=1, max_size=40
+        ),
+        path=st.text(alphabet="abcdefghijklmnopqrstuvwxyz/-", min_size=1, max_size=30),
+        props=st.integers(min_value=0, max_value=7),
+        address=st.text(alphabet="0123456789.:[]", max_size=20),
+    )
+    def test_property_doh_round_trip(self, hostname, path, props, address):
+        stamp = Stamp(
+            protocol=PROTOCOL_DOH, props=props, address=address,
+            hostname=hostname, path=path,
+        )
+        assert decode_stamp(encode_stamp(stamp)) == stamp
+
+
+class TestScraper:
+    def test_sample_parses(self):
+        resolvers = parse_public_resolvers(sample_public_resolvers_md())
+        # 12 DoH rows + 1 plain row; the broken row is skipped.
+        assert len(resolvers) == 13
+        names = {resolver.list_name for resolver in resolvers}
+        assert "legacy-plain" in names
+        assert "broken-row" not in names
+
+    def test_doh_filter(self):
+        resolvers = doh_resolvers(sample_public_resolvers_md())
+        assert len(resolvers) == 12
+        assert all(resolver.is_doh for resolver in resolvers)
+        hostnames = {resolver.hostname for resolver in resolvers}
+        assert "dns.google" in hostnames
+
+    def test_descriptions_captured(self):
+        resolvers = parse_public_resolvers(sample_public_resolvers_md())
+        google = next(r for r in resolvers if r.hostname == "dns.google")
+        assert "Operated by Google" in google.description
+
+    def test_empty_document(self):
+        assert parse_public_resolvers("") == []
+        assert parse_public_resolvers("# Title only\n\nprose\n") == []
+
+    def test_section_without_stamp_skipped(self):
+        markdown = (
+            "## no-stamp\n\nJust words.\n\n## real\n\n"
+            + encode_stamp(doh_stamp("r.example"))
+        )
+        resolvers = parse_public_resolvers(markdown)
+        assert [r.list_name for r in resolvers] == ["real"]
+
+    def test_first_stamp_per_section_wins(self):
+        markdown = (
+            "## multi\n\n"
+            + encode_stamp(doh_stamp("first.example")) + "\n"
+            + encode_stamp(doh_stamp("second.example")) + "\n"
+        )
+        resolvers = parse_public_resolvers(markdown)
+        assert len(resolvers) == 1
+        assert resolvers[0].hostname == "first.example"

@@ -1,0 +1,149 @@
+"""Tests for the repro-dns command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["measure"],
+            ["report"],
+            ["figure", "figure1"],
+            ["query", "dns.google", "google.com"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_bad_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "figure9"])
+
+
+class TestListCommand:
+    def test_lists_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "91 resolvers" in out
+        assert "dns.google" in out
+
+    def test_region_filter(self, capsys):
+        assert main(["list", "--region", "AS"]) == 0
+        out = capsys.readouterr().out
+        assert "dns.twnic.tw" in out
+        assert "dns.brahma.world" not in out
+
+    def test_mainstream_filter(self, capsys):
+        assert main(["list", "--mainstream"]) == 0
+        out = capsys.readouterr().out
+        assert "13 resolvers" in out
+
+
+class TestQueryCommand:
+    def test_successful_query(self, capsys):
+        code = main(["query", "dns.google", "google.com", "--vantage", "ec2-ohio"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "response time" in out
+        assert "google.com." in out
+
+    def test_failed_query_exits_nonzero(self, capsys):
+        code = main(["query", "dns.pumplex.com", "google.com"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out
+
+
+class TestMeasureCommand:
+    def test_writes_jsonl(self, tmp_path, capsys):
+        output = tmp_path / "out.jsonl"
+        code = main([
+            "measure", "--vantage", "ec2-ohio",
+            "--resolver", "dns.google", "dns.quad9.net",
+            "--rounds", "2", "--output", str(output),
+        ])
+        assert code == 0
+        from repro.core.results import ResultStore
+
+        store = ResultStore.load_jsonl(output)
+        # 2 rounds x 2 resolvers x (3 queries + 1 ping).
+        assert len(store) == 16
+
+
+class TestStampCommand:
+    def test_encode(self, capsys):
+        assert main(["stamp", "dns.google"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out.startswith("sdns://")
+
+    def test_decode(self, capsys):
+        main(["stamp", "dns.quad9.net"])
+        uri = capsys.readouterr().out.strip()
+        assert main(["stamp", uri, "--decode"]) == 0
+        out = capsys.readouterr().out
+        assert "dns.quad9.net" in out
+        assert "protocol: doh" in out
+
+
+class TestRunConfigCommand:
+    def test_runs_spec_file(self, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-config-test",
+            "resolvers": ["dns.google"],
+            "rounds": 1,
+            "stagger_minutes": 0,
+        }))
+        output = tmp_path / "out.jsonl"
+        assert main(["run-config", str(spec_path), "--output", str(output)]) == 0
+        from repro.core.results import ResultStore
+
+        store = ResultStore.load_jsonl(output)
+        assert len(store) == 4  # 3 domains + 1 ping
+
+
+class TestAnalysisCommands:
+    @pytest.fixture()
+    def results_file(self, tmp_path, capsys):
+        output = tmp_path / "r.jsonl"
+        main([
+            "measure", "--vantage", "ec2-ohio",
+            "--resolver", "dns.google", "dns.quad9.net", "ordns.he.net",
+            "--rounds", "3", "--output", str(output),
+        ])
+        capsys.readouterr()
+        return output
+
+    def test_correlate(self, results_file, capsys):
+        assert main(["correlate", "--input", str(results_file)]) == 0
+        out = capsys.readouterr().out
+        assert "pearson" in out
+
+    def test_drift_needs_two_campaigns(self, results_file, capsys):
+        with pytest.raises(Exception):
+            main(["drift", "--input", str(results_file)])
+
+
+class TestFigureCommand:
+    def test_renders_from_saved_results(self, tmp_path, capsys):
+        output = tmp_path / "results.jsonl"
+        main([
+            "measure", "--vantage", "ec2-ohio", "--name", "ec2-global",
+            "--resolver", "dns.google", "ordns.he.net",
+            "--rounds", "2", "--output", str(output),
+        ])
+        capsys.readouterr()
+        code = main(["figure", "figure1", "--input", str(output)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "figure1" in out
+        assert "ordns.he.net" in out

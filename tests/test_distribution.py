@@ -1,0 +1,200 @@
+"""Tests for query-distribution strategies and their evaluator."""
+
+import random
+
+import pytest
+
+from repro.distribution import (
+    HashStickyStrategy,
+    RacingStrategy,
+    RoundRobinStrategy,
+    SingleResolverStrategy,
+    UniformRandomStrategy,
+    WeightedStrategy,
+    evaluate_strategy,
+)
+from repro.distribution.evaluator import PrivacyMetrics
+from repro.errors import CampaignConfigError
+from tests.conftest import make_mini_world
+
+RESOLVERS = ["a.example", "b.example", "c.example"]
+DOMAINS = [f"site{i}.example" for i in range(12)]
+
+
+def picks_over(strategy, count=120, seed=1):
+    rng = random.Random(seed)
+    all_picks = []
+    for index in range(count):
+        all_picks.append(strategy.pick(DOMAINS[index % len(DOMAINS)], rng))
+    return all_picks
+
+
+class TestStrategies:
+    def test_single_always_same(self):
+        picks = picks_over(SingleResolverStrategy("a.example"))
+        assert all(p == ["a.example"] for p in picks)
+
+    def test_round_robin_cycles_evenly(self):
+        picks = picks_over(RoundRobinStrategy(RESOLVERS), count=9)
+        flat = [p[0] for p in picks]
+        assert flat == RESOLVERS * 3
+
+    def test_uniform_random_covers_all(self):
+        picks = picks_over(UniformRandomStrategy(RESOLVERS), count=300)
+        seen = {p[0] for p in picks}
+        assert seen == set(RESOLVERS)
+        counts = {r: sum(1 for p in picks if p[0] == r) for r in RESOLVERS}
+        assert all(60 <= c <= 140 for c in counts.values())
+
+    def test_hash_sticky_deterministic_per_domain(self):
+        strategy = HashStickyStrategy(RESOLVERS)
+        rng = random.Random(1)
+        for domain in DOMAINS:
+            first = strategy.pick(domain, rng)
+            for _ in range(5):
+                assert strategy.pick(domain, rng) == first
+
+    def test_hash_sticky_case_insensitive(self):
+        strategy = HashStickyStrategy(RESOLVERS)
+        rng = random.Random(1)
+        assert strategy.pick("Example.COM", rng) == strategy.pick("example.com", rng)
+
+    def test_hash_sticky_salt_changes_mapping(self):
+        rng = random.Random(1)
+        base = [HashStickyStrategy(RESOLVERS).pick(d, rng)[0] for d in DOMAINS]
+        salted = [HashStickyStrategy(RESOLVERS, salt=b"s").pick(d, rng)[0] for d in DOMAINS]
+        assert base != salted
+
+    def test_weighted_prefers_fast(self):
+        strategy = WeightedStrategy({"fast.example": 10.0, "slow.example": 200.0})
+        picks = picks_over(strategy, count=600)
+        fast = sum(1 for p in picks if p[0] == "fast.example")
+        assert fast > 500  # 20:1 weights
+
+    def test_racing_returns_fanout_distinct(self):
+        strategy = RacingStrategy(RESOLVERS, fanout=2)
+        for pick in picks_over(strategy, count=50):
+            assert len(pick) == 2
+            assert len(set(pick)) == 2
+
+    def test_racing_fanout_bounds(self):
+        with pytest.raises(CampaignConfigError):
+            RacingStrategy(RESOLVERS, fanout=0)
+        with pytest.raises(CampaignConfigError):
+            RacingStrategy(RESOLVERS, fanout=4)
+
+    def test_empty_resolver_list_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            RoundRobinStrategy([])
+        with pytest.raises(CampaignConfigError):
+            WeightedStrategy({})
+
+
+class TestPrivacyMetrics:
+    def test_single_resolver_metrics(self):
+        metrics = PrivacyMetrics(
+            queries_seen={"a": 10},
+            domains_seen={"a": {"x", "y"}},
+        )
+        assert metrics.max_share == 1.0
+        assert metrics.entropy_bits == 0.0
+        assert metrics.normalized_entropy == 0.0
+        assert metrics.max_profile_fraction == 1.0
+
+    def test_even_split_metrics(self):
+        metrics = PrivacyMetrics(
+            queries_seen={"a": 10, "b": 10, "c": 10, "d": 10},
+            domains_seen={k: {f"d{k}"} for k in "abcd"},
+        )
+        assert metrics.max_share == 0.25
+        assert metrics.entropy_bits == pytest.approx(2.0)
+        assert metrics.normalized_entropy == pytest.approx(1.0)
+        assert metrics.max_profile_fraction == 0.25
+
+    def test_profile_fraction(self):
+        metrics = PrivacyMetrics(
+            queries_seen={"a": 3, "b": 1},
+            domains_seen={"a": {"x", "y", "z"}, "b": {"x"}},
+        )
+        assert metrics.profile_fraction("a", {"x", "y", "z", "w"}) == 0.75
+        assert metrics.profile_fraction("b", {"x", "y", "z", "w"}) == 0.25
+
+    def test_empty_metrics(self):
+        metrics = PrivacyMetrics(queries_seen={})
+        assert metrics.max_share == 0.0
+        assert metrics.entropy_bits == 0.0
+        assert metrics.max_profile_fraction == 0.0
+
+
+MINI_RESOLVERS = ["dns.google", "dns.quad9.net", "security.cloudflare-dns.com"]
+MINI_DOMAINS = ["google.com", "amazon.com", "wikipedia.com"]
+
+
+class TestEvaluator:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return make_mini_world(seed=25)
+
+    def test_single_strategy_full_exposure(self, world):
+        outcome = evaluate_strategy(
+            world, "ec2-ohio", SingleResolverStrategy("dns.google"),
+            MINI_DOMAINS, queries=12, seed=1,
+        )
+        assert outcome.privacy.max_share == 1.0
+        assert outcome.privacy.max_profile_fraction == 1.0
+        assert outcome.failures == 0
+        assert outcome.latency.median < 80.0
+
+    def test_round_robin_spreads_profile(self, world):
+        outcome = evaluate_strategy(
+            world, "ec2-ohio", RoundRobinStrategy(MINI_RESOLVERS),
+            MINI_DOMAINS, queries=12, seed=1,
+        )
+        assert outcome.privacy.max_share == pytest.approx(1 / 3)
+        assert outcome.privacy.entropy_bits > 1.5
+
+    def test_hash_sticky_limits_profile_but_not_share(self, world):
+        outcome = evaluate_strategy(
+            world, "ec2-ohio", HashStickyStrategy(MINI_RESOLVERS),
+            MINI_DOMAINS, queries=12, seed=1,
+        )
+        # Each resolver sees only its shard of distinct domains.
+        assert outcome.privacy.max_profile_fraction <= 2 / 3
+
+    def test_racing_exposes_more_but_is_fast(self, world):
+        single = evaluate_strategy(
+            world, "ec2-ohio", SingleResolverStrategy("dns.quad9.net"),
+            MINI_DOMAINS, queries=12, seed=2,
+        )
+        racing = evaluate_strategy(
+            world, "ec2-ohio", RacingStrategy(MINI_RESOLVERS, fanout=2),
+            MINI_DOMAINS, queries=12, seed=2,
+        )
+        # Racing's sightings = 2 per query; the profile exposure grows.
+        assert racing.privacy.total_sightings == 24
+        # First-response-wins is never slower than a fixed mid resolver by much.
+        assert racing.latency.median < single.latency.median * 1.5
+
+    def test_racing_tolerates_a_dead_resolver(self, world):
+        racing = evaluate_strategy(
+            world, "ec2-ohio",
+            RacingStrategy(["dns.google", "dns.pumplex.com"], fanout=2),
+            MINI_DOMAINS, queries=6, seed=3,
+        )
+        assert racing.failures == 0  # the dead resolver never wins, never blocks
+
+    def test_describe(self, world):
+        outcome = evaluate_strategy(
+            world, "ec2-ohio", SingleResolverStrategy("dns.google"),
+            MINI_DOMAINS, queries=3, seed=1,
+        )
+        text = outcome.describe()
+        assert "median" in text and "entropy" in text
+
+    def test_validation(self, world):
+        with pytest.raises(CampaignConfigError):
+            evaluate_strategy(world, "ec2-ohio",
+                              SingleResolverStrategy("dns.google"), [], queries=3)
+        with pytest.raises(CampaignConfigError):
+            evaluate_strategy(world, "ec2-ohio",
+                              SingleResolverStrategy("dns.google"), MINI_DOMAINS, queries=0)

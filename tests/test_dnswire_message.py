@@ -1,0 +1,261 @@
+"""Tests for the DNS message codec (header, question, RRs, full messages)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnswire.builder import make_query, make_response
+from repro.dnswire.message import Header, Message, Question, ResourceRecord
+from repro.dnswire.name import Name
+from repro.dnswire.rdata import (
+    AaaaRdata,
+    ARdata,
+    CnameRdata,
+    GenericRdata,
+    MxRdata,
+    NsRdata,
+    SoaRdata,
+    TxtRdata,
+    decode_rdata,
+)
+from repro.dnswire.types import (
+    CLASS_IN,
+    RCODE_NXDOMAIN,
+    TYPE_A,
+    TYPE_AAAA,
+    TYPE_CNAME,
+    TYPE_MX,
+    TYPE_NS,
+    TYPE_SOA,
+    TYPE_TXT,
+    rcode_name,
+    type_name,
+)
+from repro.errors import MessageMalformed, MessageTruncated
+
+
+def rr(owner, rdtype, rdata, ttl=300):
+    return ResourceRecord(Name.from_text(owner), rdtype, CLASS_IN, ttl, rdata)
+
+
+class TestHeader:
+    def test_flags_round_trip(self):
+        header = Header(msg_id=77, qr=True, aa=True, rd=True, ra=True, rcode=3)
+        buffer = bytearray()
+        header.encode(buffer)
+        decoded = Header.from_words(
+            int.from_bytes(buffer[0:2], "big"),
+            int.from_bytes(buffer[2:4], "big"),
+            0, 0, 0, 0,
+        )
+        assert decoded.qr and decoded.aa and decoded.rd and decoded.ra
+        assert not decoded.tc and not decoded.ad and not decoded.cd
+        assert decoded.rcode == 3
+        assert decoded.msg_id == 77
+
+    def test_opcode_round_trip(self):
+        header = Header(opcode=5)
+        buffer = bytearray()
+        header.encode(buffer)
+        flags = int.from_bytes(buffer[2:4], "big")
+        assert Header.from_words(0, flags, 0, 0, 0, 0).opcode == 5
+
+    def test_out_of_range_id_rejected(self):
+        header = Header(msg_id=70000)
+        with pytest.raises(MessageMalformed):
+            header.encode(bytearray())
+
+    def test_describe_mentions_flags(self):
+        text = Header(msg_id=1, qr=True, rd=True).describe()
+        assert "qr" in text and "rd" in text
+
+
+class TestRdataCodecs:
+    @pytest.mark.parametrize(
+        "rdata",
+        [
+            ARdata("192.0.2.1"),
+            AaaaRdata("2001:db8::1"),
+            CnameRdata(Name.from_text("target.example.")),
+            NsRdata(Name.from_text("ns1.example.")),
+            MxRdata(10, Name.from_text("mx.example.")),
+            TxtRdata([b"hello", b"world"]),
+            SoaRdata(
+                Name.from_text("ns1.example."), Name.from_text("admin.example."),
+                1, 2, 3, 4, 5,
+            ),
+            GenericRdata(250, b"\x01\x02\x03"),
+        ],
+    )
+    def test_round_trip_through_message(self, rdata):
+        rdtype = rdata.rdtype
+        record = rr("example.com", rdtype, rdata)
+        message = Message(header=Header(msg_id=1, qr=True), answers=[record])
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded.answers[0].rdata == rdata
+        assert decoded.answers[0].rdtype == rdtype
+
+    def test_a_rdata_validates_address(self):
+        with pytest.raises(ValueError):
+            ARdata("not-an-ip")
+
+    def test_a_rdata_wrong_length_rejected(self):
+        with pytest.raises(MessageMalformed):
+            decode_rdata(TYPE_A, b"\x01\x02", 0, 2)
+
+    def test_aaaa_wrong_length_rejected(self):
+        with pytest.raises(MessageMalformed):
+            decode_rdata(TYPE_AAAA, b"\x01" * 8, 0, 8)
+
+    def test_txt_empty_rejected(self):
+        with pytest.raises(MessageMalformed):
+            TxtRdata([])
+
+    def test_txt_oversized_string_rejected(self):
+        with pytest.raises(MessageMalformed):
+            TxtRdata([b"x" * 256])
+
+    def test_txt_to_text(self):
+        assert TxtRdata([b"a b"]).to_text() == '"a b"'
+
+    def test_unknown_type_round_trips_as_generic(self):
+        data = b"\xde\xad\xbe\xef"
+        decoded = decode_rdata(999, data, 0, 4)
+        assert isinstance(decoded, GenericRdata)
+        assert decoded.data == data
+
+    def test_rdata_past_end_rejected(self):
+        with pytest.raises(MessageTruncated):
+            decode_rdata(TYPE_A, b"\x01\x02", 0, 4)
+
+
+class TestMessageCodec:
+    def _full_message(self):
+        query = make_query("www.example.com", msg_id=42)
+        return make_response(
+            query,
+            answers=[
+                rr("www.example.com", TYPE_CNAME, CnameRdata(Name.from_text("example.com"))),
+                rr("example.com", TYPE_A, ARdata("192.0.2.10")),
+            ],
+            authorities=[rr("example.com", TYPE_NS, NsRdata(Name.from_text("ns1.example.com")))],
+            additionals=[rr("ns1.example.com", TYPE_A, ARdata("192.0.2.53"))],
+        )
+
+    def test_full_message_round_trip(self):
+        message = self._full_message()
+        wire = message.to_wire()
+        decoded = Message.from_wire(wire)
+        assert decoded.header.msg_id == 42
+        assert decoded.question == message.question
+        assert len(decoded.answers) == 2
+        assert len(decoded.authorities) == 1
+        assert len(decoded.additionals) == 1
+        assert decoded.answer_addresses() == ["192.0.2.10"]
+
+    def test_counts_written_to_header(self):
+        message = self._full_message()
+        message.to_wire()
+        assert message.header.ancount == 2
+        assert message.header.nscount == 1
+
+    def test_compression_reduces_size(self):
+        message = self._full_message()
+        assert len(message.to_wire(compress=True)) < len(message.to_wire(compress=False))
+
+    def test_uncompressed_form_also_decodes(self):
+        message = self._full_message()
+        decoded = Message.from_wire(message.to_wire(compress=False))
+        assert decoded.answers == Message.from_wire(message.to_wire()).answers
+
+    def test_trailing_garbage_rejected(self):
+        wire = self._full_message().to_wire() + b"\x00"
+        with pytest.raises(MessageMalformed):
+            Message.from_wire(wire)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(MessageTruncated):
+            Message.from_wire(b"\x00" * 5)
+
+    def test_truncated_body_rejected(self):
+        wire = self._full_message().to_wire()
+        with pytest.raises((MessageTruncated, MessageMalformed)):
+            Message.from_wire(wire[:20])
+
+    def test_describe_is_dig_like(self):
+        text = self._full_message().describe()
+        assert ";; QUESTION" in text
+        assert ";; ANSWER" in text
+        assert "192.0.2.10" in text
+
+    def test_with_ttl(self):
+        record = rr("a.example", TYPE_A, ARdata("192.0.2.1"), ttl=300)
+        assert record.with_ttl(5).ttl == 5
+        assert record.ttl == 300  # original untouched
+
+
+class TestBuilders:
+    def test_make_query_defaults(self):
+        query = make_query("example.com")
+        assert query.header.rd
+        assert not query.header.qr
+        assert query.question.qtype == TYPE_A
+        assert query.opt_record() is not None  # EDNS attached
+
+    def test_make_query_without_edns(self):
+        assert make_query("example.com", edns=False).opt_record() is None
+
+    def test_make_query_random_id_uses_rng(self):
+        import random
+
+        a = make_query("example.com", rng=random.Random(1))
+        b = make_query("example.com", rng=random.Random(1))
+        assert a.header.msg_id == b.header.msg_id
+
+    def test_make_response_echoes_id_and_question(self):
+        query = make_query("example.com", msg_id=7)
+        response = make_response(query, rcode=RCODE_NXDOMAIN)
+        assert response.header.msg_id == 7
+        assert response.header.qr
+        assert response.rcode == RCODE_NXDOMAIN
+        assert response.questions == query.questions
+
+    def test_type_and_rcode_names(self):
+        assert type_name(TYPE_A) == "A"
+        assert type_name(12345) == "TYPE12345"
+        assert rcode_name(3) == "NXDOMAIN"
+
+
+@st.composite
+def messages(draw):
+    msg_id = draw(st.integers(min_value=0, max_value=0xFFFF))
+    qname = Name([bytes([draw(st.integers(97, 122))]) for _ in range(draw(st.integers(1, 4)))])
+    answer_count = draw(st.integers(min_value=0, max_value=4))
+    answers = []
+    for i in range(answer_count):
+        answers.append(
+            ResourceRecord(
+                qname, TYPE_A, CLASS_IN,
+                draw(st.integers(min_value=0, max_value=86400)),
+                ARdata(f"10.0.{i}.{draw(st.integers(0, 255))}"),
+            )
+        )
+    return Message(
+        header=Header(msg_id=msg_id, qr=bool(answers), rd=True),
+        questions=[Question(qname, TYPE_A, CLASS_IN)],
+        answers=answers,
+    )
+
+
+@given(message=messages())
+def test_property_message_round_trip(message):
+    decoded = Message.from_wire(message.to_wire())
+    assert decoded.header.msg_id == message.header.msg_id
+    assert decoded.questions == message.questions
+    assert decoded.answers == message.answers
+
+
+@given(message=messages())
+def test_property_double_encode_is_stable(message):
+    once = message.to_wire()
+    again = Message.from_wire(once).to_wire()
+    assert once == again

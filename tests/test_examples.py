@@ -1,0 +1,52 @@
+"""Smoke checks on the example scripts.
+
+Full example runs take tens of seconds each (they build the 91-resolver
+world); CI-level checks here assert the scripts stay syntactically valid,
+importable-by-path, documented, and aligned with the public API (every
+name they import must exist).
+"""
+
+import ast
+import importlib
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    names = {path.name for path in EXAMPLE_FILES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLE_FILES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_parses_and_is_documented(path):
+    tree = ast.parse(path.read_text())
+    docstring = ast.get_docstring(tree)
+    assert docstring, f"{path.name} has no module docstring"
+    assert "Run:" in docstring, f"{path.name} docstring lacks a Run: line"
+    # Every example exposes main() and calls it under the usual guard.
+    function_names = {
+        node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in function_names, f"{path.name} lacks main()"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Every `from repro...` import in an example names a real attribute."""
+    tree = ast.parse(path.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module and node.module.startswith("repro"):
+            module = importlib.import_module(node.module)
+            for alias in node.names:
+                assert hasattr(module, alias.name), (
+                    f"{path.name}: {node.module} has no attribute {alias.name}"
+                )
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro"):
+                    importlib.import_module(alias.name)

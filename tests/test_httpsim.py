@@ -1,0 +1,303 @@
+"""Tests for the HTTP/1.1, HTTP/2 and DoH codec layers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnswire.builder import make_query
+from repro.errors import HttpProtocolError
+from repro.httpsim.doh import (
+    CONTENT_TYPE_DNS,
+    DohCodecError,
+    decode_doh_request,
+    decode_doh_response,
+    encode_doh_error,
+    encode_doh_request,
+    encode_doh_response,
+    split_get_request,
+)
+from repro.httpsim.h1 import (
+    H1RequestParser,
+    H1ResponseParser,
+    HttpRequest,
+    HttpResponse,
+    encode_request,
+    encode_response,
+)
+from repro.httpsim.h2 import (
+    PREFACE,
+    H2ClientSession,
+    H2ServerSession,
+    encode_frame,
+    FRAME_HEADERS,
+)
+
+
+class TestH1:
+    def test_request_round_trip(self):
+        request = HttpRequest(
+            method="POST", path="/dns-query",
+            headers={"Content-Type": CONTENT_TYPE_DNS}, body=b"\x01\x02",
+        )
+        wire = encode_request(request, host="dns.example")
+        (decoded,) = H1RequestParser().feed(wire)
+        assert decoded.method == "POST"
+        assert decoded.path == "/dns-query"
+        assert decoded.body == b"\x01\x02"
+        assert decoded.header("content-type") == CONTENT_TYPE_DNS
+        assert decoded.header("Host") == "dns.example"
+
+    def test_response_round_trip(self):
+        response = HttpResponse(status=200, headers={"X-Test": "1"}, body=b"abc")
+        (decoded,) = H1ResponseParser().feed(encode_response(response))
+        assert decoded.status == 200
+        assert decoded.body == b"abc"
+        assert decoded.header("x-test") == "1"
+
+    def test_incremental_parse(self):
+        wire = encode_response(HttpResponse(status=200, body=b"abcdef"))
+        parser = H1ResponseParser()
+        results = []
+        for index in range(len(wire)):
+            results.extend(parser.feed(wire[index : index + 1]))
+        assert len(results) == 1
+        assert results[0].body == b"abcdef"
+
+    def test_pipelined_messages(self):
+        wire = encode_response(HttpResponse(status=200, body=b"one"))
+        wire += encode_response(HttpResponse(status=404, body=b""))
+        responses = H1ResponseParser().feed(wire)
+        assert [r.status for r in responses] == [200, 404]
+
+    def test_get_has_no_content_length_requirement(self):
+        wire = encode_request(HttpRequest(method="GET", path="/x"), host="h")
+        (decoded,) = H1RequestParser().feed(wire)
+        assert decoded.body == b""
+
+    def test_malformed_request_line_rejected(self):
+        with pytest.raises(HttpProtocolError):
+            H1RequestParser().feed(b"NONSENSE\r\n\r\n")
+
+    def test_bad_content_length_rejected(self):
+        wire = b"HTTP/1.1 200 OK\r\nContent-Length: banana\r\n\r\n"
+        with pytest.raises(HttpProtocolError):
+            H1ResponseParser().feed(wire)
+
+    def test_bad_status_rejected(self):
+        with pytest.raises(HttpProtocolError):
+            H1ResponseParser().feed(b"HTTP/1.1 abc OK\r\nContent-Length: 0\r\n\r\n")
+
+    def test_header_case_insensitive_lookup(self):
+        request = HttpRequest(method="GET", path="/", headers={"ACCEPT": "x"})
+        assert request.header("accept") == "x"
+        assert request.header("missing", "default") == "default"
+
+    @given(body=st.binary(max_size=500), status=st.sampled_from([200, 400, 404, 500]))
+    def test_property_response_round_trip(self, body, status):
+        (decoded,) = H1ResponseParser().feed(
+            encode_response(HttpResponse(status=status, body=body))
+        )
+        assert decoded.status == status
+        assert decoded.body == body
+
+
+class _Pipe:
+    """Synchronous in-memory byte pipe wiring two H2 sessions together."""
+
+    def __init__(self):
+        self.client_out = []
+        self.server_out = []
+
+
+def make_h2_pair(on_request):
+    pipe = _Pipe()
+    server = H2ServerSession(send=pipe.server_out.append, on_request=on_request)
+    client = H2ClientSession(send=pipe.client_out.append, authority="dns.example")
+
+    def pump():
+        moved = True
+        while moved:
+            moved = False
+            while pipe.client_out:
+                server.feed(pipe.client_out.pop(0))
+                moved = True
+            while pipe.server_out:
+                client.feed(pipe.server_out.pop(0))
+                moved = True
+
+    return client, server, pump
+
+
+class TestH2:
+    def test_request_response_round_trip(self):
+        def on_request(request, stream_id):
+            assert request.method == "POST"
+            assert request.body == b"payload"
+            server.respond(stream_id, HttpResponse(status=200, body=b"answer"))
+
+        client, server, pump = make_h2_pair(on_request)
+        responses = []
+        client.request(
+            HttpRequest(method="POST", path="/dns-query", body=b"payload"),
+            responses.append,
+        )
+        pump()
+        assert len(responses) == 1
+        assert responses[0].status == 200
+        assert responses[0].body == b"answer"
+
+    def test_concurrent_streams_multiplexed(self):
+        pending = []
+
+        def on_request(request, stream_id):
+            pending.append((request, stream_id))
+
+        client, server, pump = make_h2_pair(on_request)
+        got = {}
+        for index in range(3):
+            client.request(
+                HttpRequest(method="POST", path=f"/q{index}", body=b"x"),
+                lambda response, index=index: got.setdefault(index, response),
+            )
+        pump()
+        assert len(pending) == 3
+        # Answer out of order: stream correlation must still hold.
+        for request, stream_id in reversed(pending):
+            server.respond(stream_id, HttpResponse(status=200, body=request.path.encode()))
+        pump()
+        assert {got[i].body for i in range(3)} == {b"/q0", b"/q1", b"/q2"}
+
+    def test_stream_ids_odd_and_increasing(self):
+        client, _server, _pump = make_h2_pair(lambda request, stream_id: None)
+        ids = [
+            client.request(HttpRequest(method="GET", path="/"), lambda response: None)
+            for _ in range(3)
+        ]
+        assert ids == [1, 3, 5]
+
+    def test_in_flight_count(self):
+        client, server, pump = make_h2_pair(
+            lambda request, stream_id: server.respond(
+                stream_id, HttpResponse(status=200, body=b"")
+            )
+        )
+        client.request(HttpRequest(method="GET", path="/"), lambda response: None)
+        assert client.in_flight == 1
+        pump()
+        assert client.in_flight == 0
+
+    def test_goaway_stops_new_requests(self):
+        client, server, pump = make_h2_pair(lambda request, stream_id: None)
+        client.request(HttpRequest(method="GET", path="/"), lambda response: None)
+        pump()
+        server.goaway()
+        pump()
+        assert client.goaway_received
+        with pytest.raises(HttpProtocolError):
+            client.request(HttpRequest(method="GET", path="/"), lambda response: None)
+
+    def test_bad_preface_rejected(self):
+        server = H2ServerSession(send=lambda data: None, on_request=lambda r, s: None)
+        with pytest.raises(HttpProtocolError):
+            server.feed(b"GET / HTTP/1.1\r\n\r\n" + b"x" * 20)
+
+    def test_missing_pseudo_headers_resets_stream(self):
+        sent = []
+        server = H2ServerSession(send=sent.append, on_request=lambda r, s: None)
+        server.feed(PREFACE)
+        import json
+
+        block = json.dumps({"accept": "x"}).encode()
+        server.feed(encode_frame(FRAME_HEADERS, 0x4 | 0x1, 1, block))
+        # Server answered with SETTINGS then RST_STREAM.
+        assert any(frame[3] == 0x3 for frame in [(0, 0, 0, 0)]) or sent
+
+    def test_large_body_split_into_frames(self):
+        def on_request(request, stream_id):
+            server.respond(stream_id, HttpResponse(status=200, body=b"z" * 40000))
+
+        client, server, pump = make_h2_pair(on_request)
+        responses = []
+        client.request(HttpRequest(method="GET", path="/"), responses.append)
+        pump()
+        assert responses[0].body == b"z" * 40000
+
+
+class TestDohCodec:
+    def _wire(self):
+        return make_query("example.com", msg_id=0).to_wire()
+
+    def test_post_round_trip(self):
+        wire = self._wire()
+        request = encode_doh_request(wire, method="POST")
+        assert decode_doh_request(request) == wire
+        assert request.header("Content-Type") == CONTENT_TYPE_DNS
+
+    def test_get_round_trip(self):
+        wire = self._wire()
+        request = encode_doh_request(wire, method="GET")
+        assert request.body == b""
+        assert decode_doh_request(request) == wire
+
+    def test_get_parameter_is_unpadded_base64url(self):
+        request = encode_doh_request(self._wire(), method="GET")
+        _path, dns_param = split_get_request(request)
+        assert dns_param is not None
+        assert "=" not in dns_param
+        assert "+" not in dns_param and "/" not in dns_param
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(DohCodecError):
+            encode_doh_request(self._wire(), method="PUT")
+
+    def test_wrong_path_404(self):
+        request = encode_doh_request(self._wire(), path="/other")
+        with pytest.raises(DohCodecError) as info:
+            decode_doh_request(request, expected_path="/dns-query")
+        assert getattr(info.value, "status_hint", None) == 404
+
+    def test_wrong_content_type_415(self):
+        request = encode_doh_request(self._wire())
+        request.headers["Content-Type"] = "text/plain"
+        with pytest.raises(DohCodecError) as info:
+            decode_doh_request(request)
+        assert getattr(info.value, "status_hint", None) == 415
+
+    def test_missing_dns_parameter_400(self):
+        request = HttpRequest(method="GET", path="/dns-query?x=1")
+        with pytest.raises(DohCodecError) as info:
+            decode_doh_request(request)
+        assert getattr(info.value, "status_hint", None) == 400
+
+    def test_method_not_allowed_405(self):
+        request = HttpRequest(method="DELETE", path="/dns-query")
+        with pytest.raises(DohCodecError) as info:
+            decode_doh_request(request)
+        assert getattr(info.value, "status_hint", None) == 405
+
+    def test_response_round_trip_with_cache_control(self):
+        wire = self._wire()
+        response = encode_doh_response(wire, min_ttl=300)
+        assert response.header("Cache-Control") == "max-age=300"
+        assert decode_doh_response(response) == wire
+
+    def test_error_response_decoding_rejected(self):
+        with pytest.raises(DohCodecError):
+            decode_doh_response(encode_doh_error(503, "overloaded"))
+
+    def test_wrong_response_content_type_rejected(self):
+        response = encode_doh_response(self._wire())
+        response.headers["Content-Type"] = "text/html"
+        with pytest.raises(DohCodecError):
+            decode_doh_response(response)
+
+    def test_empty_response_body_rejected(self):
+        response = encode_doh_response(self._wire())
+        response.body = b""
+        with pytest.raises(DohCodecError):
+            decode_doh_response(response)
+
+    @given(payload=st.binary(min_size=1, max_size=300))
+    def test_property_get_post_equivalence(self, payload):
+        via_post = decode_doh_request(encode_doh_request(payload, method="POST"))
+        via_get = decode_doh_request(encode_doh_request(payload, method="GET"))
+        assert via_post == via_get == payload

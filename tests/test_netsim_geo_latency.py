@@ -1,0 +1,153 @@
+"""Tests for geography and the latency model."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim.geo import Coordinates, great_circle_km
+from repro.netsim.latency import (
+    DATACENTER,
+    FIBER_KM_PER_MS,
+    HOME_BROADBAND,
+    MIN_PROPAGATION_MS,
+    SERVER,
+    AccessProfile,
+    LatencyModel,
+)
+
+CHICAGO = Coordinates(41.88, -87.63)
+FRANKFURT = Coordinates(50.11, 8.68)
+SEOUL = Coordinates(37.57, 126.98)
+COLUMBUS = Coordinates(39.96, -83.00)
+
+
+class TestCoordinates:
+    def test_valid_range_accepted(self):
+        Coordinates(90.0, 180.0)
+        Coordinates(-90.0, -180.0)
+
+    @pytest.mark.parametrize("lat,lon", [(91, 0), (-91, 0), (0, 181), (0, -181)])
+    def test_out_of_range_rejected(self, lat, lon):
+        with pytest.raises(ValueError):
+            Coordinates(lat, lon)
+
+
+class TestGreatCircle:
+    def test_zero_distance_to_self(self):
+        assert great_circle_km(CHICAGO, CHICAGO) == 0.0
+
+    def test_symmetry(self):
+        assert great_circle_km(CHICAGO, SEOUL) == pytest.approx(
+            great_circle_km(SEOUL, CHICAGO)
+        )
+
+    def test_known_distance_chicago_frankfurt(self):
+        # Real-world value ~6,960 km.
+        assert great_circle_km(CHICAGO, FRANKFURT) == pytest.approx(6960, rel=0.02)
+
+    def test_known_distance_chicago_columbus(self):
+        # Real-world value ~444 km.
+        assert great_circle_km(CHICAGO, COLUMBUS) == pytest.approx(444, rel=0.05)
+
+    def test_antipodal_is_half_circumference(self):
+        a = Coordinates(0.0, 0.0)
+        b = Coordinates(0.0, 180.0)
+        assert great_circle_km(a, b) == pytest.approx(math.pi * 6371.0088, rel=1e-3)
+
+    @given(
+        lat1=st.floats(-90, 90), lon1=st.floats(-180, 180),
+        lat2=st.floats(-90, 90), lon2=st.floats(-180, 180),
+    )
+    def test_property_nonnegative_and_bounded(self, lat1, lon1, lat2, lon2):
+        d = great_circle_km(Coordinates(lat1, lon1), Coordinates(lat2, lon2))
+        assert 0.0 <= d <= math.pi * 6371.0088 + 1.0
+
+
+class TestAccessProfile:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            AccessProfile("bad", delay_ms=-1.0)
+
+    def test_loss_rate_bounds(self):
+        with pytest.raises(ValueError):
+            AccessProfile("bad", loss_rate=1.0)
+
+    def test_builtin_profiles_sensible(self):
+        assert HOME_BROADBAND.delay_ms > DATACENTER.delay_ms
+        assert HOME_BROADBAND.jitter_ms > DATACENTER.jitter_ms
+        assert HOME_BROADBAND.loss_rate > SERVER.loss_rate
+
+
+class TestLatencyModel:
+    def setup_method(self):
+        self.model = LatencyModel.internet_default()
+
+    def test_propagation_scales_with_distance(self):
+        near = self.model.path(CHICAGO, COLUMBUS, "NA", "NA", DATACENTER, SERVER)
+        far = self.model.path(CHICAGO, SEOUL, "NA", "AS", DATACENTER, SERVER)
+        assert far.propagation_ms > near.propagation_ms * 10
+
+    def test_propagation_formula(self):
+        path = self.model.path(CHICAGO, FRANKFURT, "NA", "EU", DATACENTER, SERVER)
+        expected = (
+            great_circle_km(CHICAGO, FRANKFURT)
+            / FIBER_KM_PER_MS
+            * self.model.inflation_for("NA", "EU")
+        )
+        assert path.propagation_ms == pytest.approx(expected)
+
+    def test_minimum_propagation_floor(self):
+        path = self.model.path(CHICAGO, CHICAGO, "NA", "NA", DATACENTER, SERVER)
+        assert path.propagation_ms == MIN_PROPAGATION_MS
+
+    def test_access_delays_added_once_each(self):
+        path = self.model.path(CHICAGO, COLUMBUS, "NA", "NA", HOME_BROADBAND, SERVER)
+        assert path.fixed_one_way_ms == pytest.approx(
+            path.propagation_ms + HOME_BROADBAND.delay_ms + SERVER.delay_ms
+        )
+
+    def test_base_rtt_is_twice_one_way(self):
+        path = self.model.path(CHICAGO, FRANKFURT, "NA", "EU", DATACENTER, SERVER)
+        assert path.base_rtt_ms == pytest.approx(2.0 * path.fixed_one_way_ms)
+
+    def test_inflation_lookup_symmetric(self):
+        assert self.model.inflation_for("NA", "EU") == self.model.inflation_for("EU", "NA")
+
+    def test_unknown_pair_uses_default(self):
+        assert self.model.inflation_for("AF", "SA") == self.model.default_inflation
+
+    def test_loss_composes_access_and_core(self):
+        path = self.model.path(CHICAGO, SEOUL, "NA", "AS", HOME_BROADBAND, SERVER)
+        assert path.loss_rate > HOME_BROADBAND.loss_rate  # core adds on top
+        assert path.loss_rate < HOME_BROADBAND.loss_rate + self.model.core_loss_rate + 1e-3
+
+    def test_sample_one_way_at_least_fixed(self):
+        rng = random.Random(1)
+        path = self.model.path(CHICAGO, FRANKFURT, "NA", "EU", DATACENTER, SERVER)
+        for _ in range(100):
+            assert LatencyModel.sample_one_way_ms(path, rng) >= path.fixed_one_way_ms
+
+    def test_zero_jitter_is_deterministic(self):
+        model = LatencyModel.internet_default()
+        model.core_jitter_ms = 0.0
+        quiet = AccessProfile("quiet")
+        path = model.path(CHICAGO, FRANKFURT, "NA", "EU", quiet, quiet)
+        rng = random.Random(2)
+        samples = {LatencyModel.sample_one_way_ms(path, rng) for _ in range(10)}
+        assert samples == {path.fixed_one_way_ms}
+
+    def test_loss_sampling_rate(self):
+        model = LatencyModel.internet_default()
+        model.core_loss_rate = 0.2
+        quiet = AccessProfile("quiet")
+        path = model.path(CHICAGO, FRANKFURT, "NA", "EU", quiet, quiet)
+        rng = random.Random(3)
+        losses = sum(LatencyModel.sample_loss(path, rng) for _ in range(5000))
+        assert 0.17 <= losses / 5000 <= 0.23
+
+    def test_ec2_to_seoul_rtt_plausible(self):
+        # Ohio <-> Seoul measured RTTs are ~160-200 ms.
+        path = self.model.path(COLUMBUS, SEOUL, "NA", "AS", DATACENTER, SERVER)
+        assert 130.0 <= path.base_rtt_ms <= 230.0

@@ -1,0 +1,97 @@
+"""Tests for ICMP echo (ping)."""
+
+import pytest
+
+from repro.netsim.icmp import IcmpPolicy, ping
+from tests.conftest import add_host, make_quiet_network
+
+
+def make_pair():
+    net = make_quiet_network()
+    a = add_host(net, "a", "10.0.0.1", lat=41.88, lon=-87.63)
+    b = add_host(net, "b", "10.0.0.2", lat=39.96, lon=-83.00)
+    return net, a, b
+
+
+class TestPing:
+    def test_rtt_matches_path(self):
+        net, a, b = make_pair()
+        b.icmp_policy = IcmpPolicy(responds=True, process_delay_ms=0.0)
+        results = []
+        ping(a, b.ip, results.append)
+        net.run()
+        assert results[0].responded
+        assert results[0].rtt_ms == pytest.approx(net.path_between(a, b).base_rtt_ms)
+
+    def test_default_policy_responds(self):
+        net, a, b = make_pair()
+        results = []
+        ping(a, b.ip, results.append)
+        net.run()
+        assert results[0].responded
+
+    def test_non_responding_policy_times_out(self):
+        net, a, b = make_pair()
+        b.icmp_policy = IcmpPolicy(responds=False)
+        results = []
+        ping(a, b.ip, results.append, timeout_ms=500.0)
+        net.run()
+        assert not results[0].responded
+        assert results[0].rtt_ms is None
+
+    def test_unroutable_target_times_out(self):
+        net, a, _b = make_pair()
+        results = []
+        ping(a, "10.9.9.9", results.append, timeout_ms=500.0)
+        net.run()
+        assert not results[0].responded
+
+    def test_callback_fires_exactly_once(self):
+        net, a, b = make_pair()
+        results = []
+        ping(a, b.ip, results.append, timeout_ms=500.0)
+        net.run()  # runs well past the timeout
+        assert len(results) == 1
+
+    def test_concurrent_pings_matched_by_ident(self):
+        net, a, b = make_pair()
+        c = add_host(net, "c", "10.0.0.3", lat=50.11, lon=8.68, continent="EU")
+        b.icmp_policy = IcmpPolicy(responds=True, process_delay_ms=0.0)
+        c.icmp_policy = IcmpPolicy(responds=True, process_delay_ms=0.0)
+        results = {}
+        ping(a, b.ip, lambda r: results.setdefault("b", r))
+        ping(a, c.ip, lambda r: results.setdefault("c", r))
+        net.run()
+        assert results["b"].rtt_ms == pytest.approx(net.path_between(a, b).base_rtt_ms)
+        assert results["c"].rtt_ms == pytest.approx(net.path_between(a, c).base_rtt_ms)
+        assert results["b"].rtt_ms < results["c"].rtt_ms
+
+    def test_process_delay_added(self):
+        net, a, b = make_pair()
+        b.icmp_policy = IcmpPolicy(responds=True, process_delay_ms=5.0)
+        results = []
+        ping(a, b.ip, results.append)
+        net.run()
+        expected = net.path_between(a, b).base_rtt_ms + 5.0
+        assert results[0].rtt_ms == pytest.approx(expected)
+
+    def test_anycast_target_pings_nearest_site(self):
+        net, a, b = make_pair()
+        far = add_host(net, "far", "10.1.0.1", lat=37.57, lon=126.98, continent="AS")
+        net.add_anycast("9.9.9.9", [b, far])
+        b.icmp_policy = IcmpPolicy(responds=True, process_delay_ms=0.0)
+        results = []
+        ping(a, "9.9.9.9", results.append)
+        net.run()
+        assert results[0].rtt_ms == pytest.approx(net.path_between(a, b).base_rtt_ms)
+
+    def test_malformed_icmp_payload_ignored(self):
+        from repro.netsim.packet import Datagram
+
+        net, a, b = make_pair()
+        dgram = Datagram(
+            src_ip=a.ip, src_port=0, dst_ip=b.ip, dst_port=0,
+            payload=b"\x01", protocol="icmp",
+        )
+        net.transmit(a, dgram)
+        net.run()  # must not raise

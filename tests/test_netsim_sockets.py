@@ -1,0 +1,269 @@
+"""Tests for simulated UDP sockets and TCP connections."""
+
+import pytest
+
+from repro.errors import ConnectionRefused, ConnectTimeout, SocketError
+from repro.netsim.sockets import MSS, SimTcpConnection, SimUdpSocket
+from tests.conftest import add_host, make_quiet_network
+
+
+def make_pair(net=None):
+    net = net or make_quiet_network()
+    a = add_host(net, "a", "10.0.0.1", lat=41.88, lon=-87.63)
+    b = add_host(net, "b", "10.0.0.2", lat=39.96, lon=-83.00)
+    return net, a, b
+
+
+class TestUdpSocket:
+    def test_ephemeral_ports_unique(self):
+        net, a, _b = make_pair()
+        s1, s2 = SimUdpSocket(a), SimUdpSocket(a)
+        assert s1.port != s2.port
+
+    def test_echo_round_trip(self):
+        net, a, b = make_pair()
+
+        def server(dgram, host):
+            reply = SimUdpSocket(host)
+            reply.sendto(b"pong", dgram.src_ip, dgram.src_port)
+            reply.close()
+
+        b.bind_udp(53, server)
+        client = SimUdpSocket(a)
+        got = []
+        client.on_datagram = lambda dgram: got.append(dgram.payload)
+        client.sendto(b"ping", b.ip, 53)
+        net.run()
+        assert got == [b"pong"]
+
+    def test_closed_socket_rejects_send(self):
+        _net, a, b = make_pair()
+        socket = SimUdpSocket(a)
+        socket.close()
+        with pytest.raises(SocketError):
+            socket.sendto(b"x", b.ip, 53)
+
+    def test_close_unbinds_port(self):
+        net, a, b = make_pair()
+        socket = SimUdpSocket(a)
+        port = socket.port
+        socket.close()
+        # Reusing the port must not raise "already bound".
+        a.bind_udp(port, lambda dgram, host: None)
+
+    def test_unbound_port_drops_silently(self):
+        net, a, b = make_pair()
+        client = SimUdpSocket(a)
+        client.sendto(b"x", b.ip, 9999)  # nothing bound there
+        net.run()  # must simply drain with no error
+
+
+class TestTcpHandshake:
+    def test_connect_takes_one_rtt(self):
+        net, a, b = make_pair()
+        b.listen_tcp(443, lambda conn: None)
+        established = []
+        SimTcpConnection.connect(a, b.ip, 443, lambda conn: established.append(net.now))
+        net.run()
+        rtt = net.path_between(a, b).base_rtt_ms
+        assert established == [pytest.approx(rtt)]
+
+    def test_server_acceptor_invoked(self):
+        net, a, b = make_pair()
+        accepted = []
+        b.listen_tcp(443, accepted.append)
+        SimTcpConnection.connect(a, b.ip, 443, lambda conn: None)
+        net.run()
+        assert len(accepted) == 1
+        assert not accepted[0].is_client
+        assert accepted[0].state == SimTcpConnection.ESTABLISHED
+
+    def test_closed_port_refused(self):
+        net, a, b = make_pair()
+        errors = []
+        SimTcpConnection.connect(
+            a, b.ip, 443, lambda conn: None, on_error=errors.append
+        )
+        net.run()
+        assert len(errors) == 1
+        assert isinstance(errors[0], ConnectionRefused)
+
+    def test_unroutable_destination_times_out(self):
+        net, a, _b = make_pair()
+        errors = []
+        SimTcpConnection.connect(
+            a, "10.9.9.9", 443, lambda conn: None,
+            on_error=errors.append, timeout_ms=500.0,
+        )
+        net.run()
+        assert len(errors) == 1
+        assert isinstance(errors[0], ConnectTimeout)
+
+    def test_blackholed_server_times_out(self):
+        net, a, b = make_pair()
+        b.listen_tcp(443, lambda conn: None)
+        b.blackholed = True
+        errors = []
+        SimTcpConnection.connect(
+            a, b.ip, 443, lambda conn: None, on_error=errors.append, timeout_ms=800.0
+        )
+        net.run()
+        assert isinstance(errors[0], ConnectTimeout)
+
+    def test_syn_policy_refuse(self):
+        net, a, b = make_pair()
+        b.listen_tcp(443, lambda conn: None)
+        b.syn_policy = lambda segment: "refuse"
+        errors = []
+        SimTcpConnection.connect(a, b.ip, 443, lambda conn: None, on_error=errors.append)
+        net.run()
+        assert isinstance(errors[0], ConnectionRefused)
+
+    def test_syn_policy_drop_then_timeout(self):
+        net, a, b = make_pair()
+        b.listen_tcp(443, lambda conn: None)
+        b.syn_policy = lambda segment: "drop"
+        errors = []
+        SimTcpConnection.connect(
+            a, b.ip, 443, lambda conn: None, on_error=errors.append, timeout_ms=700.0
+        )
+        net.run()
+        assert isinstance(errors[0], ConnectTimeout)
+
+    def test_syn_retransmission_recovers_from_loss(self):
+        net, a, b = make_pair()
+        b.listen_tcp(443, lambda conn: None)
+        # Lose exactly the first packet (the SYN), then deliver everything.
+        original_rate = [1.0]
+
+        def flaky_loss(path, rng):
+            if original_rate[0] > 0:
+                original_rate[0] = 0
+                return True
+            return False
+
+        net.latency.core_loss_rate = 0.0
+        import repro.netsim.network as network_module
+
+        established = []
+        monkey_target = net.latency
+        real_sample = type(monkey_target).sample_loss
+        try:
+            type(monkey_target).sample_loss = staticmethod(flaky_loss)
+            SimTcpConnection.connect(
+                a, b.ip, 443, lambda conn: established.append(net.now), timeout_ms=10_000
+            )
+            net.run()
+        finally:
+            type(monkey_target).sample_loss = real_sample
+        # Established after ~1s retransmission timeout + 1 RTT.
+        assert len(established) == 1
+        assert established[0] >= 1000.0
+
+
+class TestTcpData:
+    def _connected_pair(self, net=None):
+        net, a, b = make_pair(net)
+        server_conns = []
+        b.listen_tcp(443, server_conns.append)
+        client_conns = []
+        SimTcpConnection.connect(a, b.ip, 443, client_conns.append)
+        net.run()
+        return net, client_conns[0], server_conns[0]
+
+    def test_small_send_received_once(self):
+        net, client, server = self._connected_pair()
+        received = []
+        server.on_data = received.append
+        client.send(b"hello")
+        net.run()
+        assert received == [b"hello"]
+
+    def test_large_send_segmented_and_reassembled(self):
+        net, client, server = self._connected_pair()
+        chunks = []
+        server.on_data = chunks.append
+        payload = bytes(range(256)) * 20  # 5120 B > 3 x MSS
+        client.send(payload)
+        net.run()
+        assert b"".join(chunks) == payload
+        assert len(chunks) == (len(payload) + MSS - 1) // MSS
+
+    def test_bidirectional_exchange(self):
+        net, client, server = self._connected_pair()
+        server.on_data = lambda data: server.send(b"resp:" + data)
+        got = []
+        client.on_data = got.append
+        client.send(b"req")
+        net.run()
+        assert got == [b"resp:req"]
+
+    def test_empty_send_is_noop(self):
+        net, client, server = self._connected_pair()
+        received = []
+        server.on_data = received.append
+        client.send(b"")
+        net.run()
+        assert received == []
+
+    def test_send_before_established_rejected(self):
+        net, a, b = make_pair()
+        b.listen_tcp(443, lambda conn: None)
+        conn = SimTcpConnection.connect(a, b.ip, 443, lambda c: None)
+        with pytest.raises(SocketError):
+            conn.send(b"early")
+
+    def test_byte_counters(self):
+        net, client, server = self._connected_pair()
+        server.on_data = lambda data: None
+        client.send(b"12345")
+        net.run()
+        assert client.bytes_sent == 5
+        assert server.bytes_received == 5
+
+    def test_srtt_estimated_from_handshake(self):
+        net, client, server = self._connected_pair()
+        rtt = net.path_between(client.host, server.host).base_rtt_ms
+        assert client.srtt_ms == pytest.approx(rtt, rel=0.01)
+
+
+class TestTcpTeardown:
+    def _connected_pair(self):
+        net = make_quiet_network()
+        net, a, b = make_pair(net)
+        server_conns = []
+        b.listen_tcp(443, server_conns.append)
+        client_conns = []
+        SimTcpConnection.connect(a, b.ip, 443, client_conns.append)
+        net.run()
+        return net, client_conns[0], server_conns[0]
+
+    def test_close_sends_fin_and_peer_sees_close(self):
+        net, client, server = self._connected_pair()
+        closed = []
+        server.on_close = lambda: closed.append(True)
+        client.close()
+        net.run()
+        assert closed == [True]
+        assert client.state == SimTcpConnection.CLOSED
+        assert server.state == SimTcpConnection.CLOSED
+
+    def test_abort_sends_rst(self):
+        net, client, server = self._connected_pair()
+        errors = []
+        server.on_error = errors.append
+        client.abort()
+        net.run()
+        assert len(errors) == 1
+
+    def test_send_after_close_rejected(self):
+        net, client, _server = self._connected_pair()
+        client.close()
+        with pytest.raises(SocketError):
+            client.send(b"x")
+
+    def test_connection_unregistered_after_close(self):
+        net, client, _server = self._connected_pair()
+        conn_id = client.conn_id
+        client.close()
+        assert client.host.connection(conn_id) is None

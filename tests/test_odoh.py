@@ -1,0 +1,161 @@
+"""Tests for Oblivious DoH: codec, target frontend, proxy relay, probe."""
+
+import random
+
+import pytest
+
+from repro.catalog.resolvers import CATALOG
+from repro.core.odoh import OdohProbe, OdohProbeConfig
+from repro.core.probes import DohProbe, DohProbeConfig
+from repro.dnswire.builder import make_query
+from repro.experiments.world import build_world
+from repro.httpsim.odoh_codec import (
+    MESSAGE_TYPE_QUERY,
+    OdohCodecError,
+    OdohMessage,
+    open_query,
+    open_response,
+    seal_query,
+    seal_response,
+)
+from hypothesis import given, strategies as st
+
+
+class TestOdohCodec:
+    def test_query_round_trip(self):
+        wire = make_query("example.com", msg_id=0).to_wire()
+        sealed = seal_query(wire, key_id=7)
+        opened, key_id = open_query(sealed)
+        assert opened == wire
+        assert key_id == 7
+
+    def test_response_round_trip(self):
+        wire = make_query("example.com", msg_id=0).to_wire()
+        sealed = seal_response(wire, key_id=3)
+        assert open_response(sealed, expected_key_id=3) == wire
+
+    def test_sealed_bytes_differ_from_plaintext(self):
+        wire = make_query("example.com", msg_id=0).to_wire()
+        sealed = seal_query(wire, key_id=1)
+        assert wire not in sealed  # "encryption" hides the plaintext shape
+
+    def test_key_mismatch_rejected(self):
+        sealed = seal_response(b"\x01\x02", key_id=3)
+        with pytest.raises(OdohCodecError):
+            open_response(sealed, expected_key_id=4)
+
+    def test_type_confusion_rejected(self):
+        sealed = seal_query(b"\x01\x02", key_id=1)
+        with pytest.raises(OdohCodecError):
+            open_response(sealed, expected_key_id=1)
+        sealed = seal_response(b"\x01\x02", key_id=1)
+        with pytest.raises(OdohCodecError):
+            open_query(sealed)
+
+    def test_truncated_message_rejected(self):
+        with pytest.raises(OdohCodecError):
+            OdohMessage.from_wire(b"\x01\x00")
+
+    def test_length_mismatch_rejected(self):
+        good = OdohMessage(MESSAGE_TYPE_QUERY, 1, b"abc").to_wire()
+        with pytest.raises(OdohCodecError):
+            OdohMessage.from_wire(good + b"extra")
+
+    def test_unknown_type_rejected(self):
+        bad = OdohMessage(MESSAGE_TYPE_QUERY, 1, b"abc").to_wire()
+        with pytest.raises(OdohCodecError):
+            OdohMessage.from_wire(b"\x09" + bad[1:])
+
+    @given(payload=st.binary(min_size=0, max_size=300), key=st.integers(0, 0xFFFF))
+    def test_property_seal_open_inverse(self, payload, key):
+        assert open_query(seal_query(payload, key)) == (payload, key)
+        assert open_response(seal_response(payload, key), key) == payload
+
+
+@pytest.fixture(scope="module")
+def odoh_world():
+    from dataclasses import replace
+
+    # Pin reliability to "rock" so timing assertions aren't disturbed by
+    # the targets' (realistic) injected connection failures.
+    catalog = [
+        replace(entry, reliability="rock")
+        for entry in CATALOG
+        if entry.hostname in ("odoh-target.alekberg.net", "odoh-target-se.alekberg.net")
+    ]
+    return build_world(seed=17, catalog=catalog)
+
+
+def run_odoh(world, target, domain="google.com", seed=1, config=None):
+    probe = OdohProbe(
+        world.vantage("ec2-ohio").host,
+        world.odoh_proxy_ip,
+        world.odoh_proxy_name,
+        target,
+        config or OdohProbeConfig(),
+        rng=random.Random(seed),
+    )
+    outcomes = []
+    probe.query(domain, outcomes.append)
+    world.network.run()
+    return outcomes[0]
+
+
+class TestOdohEndToEnd:
+    def test_world_builds_proxy_for_odoh_targets(self, odoh_world):
+        assert odoh_world.odoh_proxy is not None
+        assert odoh_world.odoh_proxy_ip is not None
+        assert odoh_world.geo_db.lookup(odoh_world.odoh_proxy_ip).continent == "EU"
+
+    def test_query_resolves_through_proxy(self, odoh_world):
+        outcome = run_odoh(odoh_world, "odoh-target.alekberg.net")
+        assert outcome.success
+        assert outcome.answers == ["142.250.64.78"]
+        assert odoh_world.odoh_proxy.requests_relayed >= 1
+
+    def test_odoh_slower_than_direct_doh(self, odoh_world):
+        target = "odoh-target.alekberg.net"
+        direct = []
+        DohProbe(
+            odoh_world.vantage("ec2-ohio").host,
+            odoh_world.deployment(target).service_ip,
+            target, DohProbeConfig(), rng=random.Random(2),
+        ).query("google.com", direct.append)
+        odoh_world.network.run()
+        oblivious = run_odoh(odoh_world, target, seed=2)
+        assert direct[0].success and oblivious.success
+        # The relay detour (Ohio -> Amsterdam -> New York) costs real time.
+        assert oblivious.duration_ms > direct[0].duration_ms * 1.5
+
+    def test_unknown_target_yields_502(self, odoh_world):
+        outcome = run_odoh(odoh_world, "not-a-target.example")
+        assert not outcome.success
+        assert outcome.http_status == 502
+
+    def test_proxy_reuses_upstream_connection(self, odoh_world):
+        target = "odoh-target-se.alekberg.net"
+        first = run_odoh(odoh_world, target, seed=3)
+        second = run_odoh(odoh_world, target, domain="amazon.com", seed=4)
+        assert first.success and second.success
+        # Second relay skips the proxy->target TCP+TLS establishment.
+        assert second.duration_ms < first.duration_ms - 50.0
+
+    def test_non_odoh_deployment_rejects_oblivious(self):
+        catalog = [entry for entry in CATALOG if entry.hostname == "dns.brahma.world"]
+        world = build_world(seed=18, catalog=catalog)
+        assert world.odoh_proxy is None  # no targets -> no proxy
+        # A sealed message straight at a plain DoH frontend must get 415.
+        from repro.httpsim.odoh_codec import CONTENT_TYPE_ODOH
+        from repro.httpsim.h1 import HttpRequest
+        import repro.httpsim.odoh_codec as codec
+
+        frontend = world.deployment("dns.brahma.world").sites[0].frontends[-1]
+        responses = []
+        request = HttpRequest(
+            method="POST", path="/dns-query",
+            headers={"Content-Type": CONTENT_TYPE_ODOH},
+            body=codec.seal_query(make_query("google.com", msg_id=0).to_wire(), 1),
+        )
+        frontend._serve_http(request, responses.append)
+        world.network.run()
+        assert responses and responses[0].status == 415

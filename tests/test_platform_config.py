@@ -1,0 +1,124 @@
+"""Tests for the config-driven measurement service (Netrics-style specs)."""
+
+import json
+
+import pytest
+
+from repro.core.platform import build_campaign, load_spec, parse_spec, run_spec, select_targets
+from repro.errors import CampaignConfigError
+from tests.conftest import make_mini_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_mini_world(seed=88)
+
+
+class TestSpecParsing:
+    def test_minimal_spec_gets_defaults(self):
+        normalized = parse_spec({"name": "t"})
+        assert normalized["transport"] == "doh"
+        assert normalized["rounds"] == 3
+        assert normalized["vantages"] == ["ec2-ohio"]
+        assert normalized["ping"] is True
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            parse_spec({"name": "t", "resolverz": []})
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            parse_spec({})
+        with pytest.raises(CampaignConfigError):
+            parse_spec({"name": "  "})
+
+    def test_bad_rounds_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            parse_spec({"name": "t", "rounds": 0})
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            parse_spec({"name": "t", "method": "BREW"})
+
+    def test_load_spec_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"name": "file-test", "rounds": 2}))
+        spec = load_spec(path)
+        assert spec["name"] == "file-test"
+
+    def test_load_spec_rejects_non_object(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CampaignConfigError):
+            load_spec(path)
+
+
+class TestTargetSelection:
+    def test_all(self, world):
+        assert len(select_targets(world, "all")) == len(world.catalog)
+
+    def test_explicit_list(self, world):
+        targets = select_targets(world, ["dns.google"])
+        assert [t.hostname for t in targets] == ["dns.google"]
+
+    def test_unknown_hostname_rejected(self, world):
+        with pytest.raises(CampaignConfigError):
+            select_targets(world, ["dns.google", "bogus.example"])
+
+    def test_region_filter(self, world):
+        targets = select_targets(world, {"region": "EU"})
+        assert targets
+        assert all(t.region == "EU" for t in targets)
+
+    def test_mainstream_filter(self, world):
+        targets = select_targets(world, {"mainstream": True})
+        assert targets and all(t.mainstream for t in targets)
+
+    def test_combined_filter(self, world):
+        targets = select_targets(world, {"region": "AS", "anycast": True})
+        assert [t.hostname for t in targets] == ["dns.alidns.com"]
+
+    def test_empty_match_rejected(self, world):
+        with pytest.raises(CampaignConfigError):
+            select_targets(world, {"region": "AF"})
+
+    def test_garbage_selector_rejected(self, world):
+        with pytest.raises(CampaignConfigError):
+            select_targets(world, 42)
+
+
+class TestRunSpec:
+    def test_run_produces_records(self, world):
+        store = run_spec(
+            world,
+            {
+                "name": "spec-run",
+                "vantages": ["ec2-ohio"],
+                "resolvers": ["dns.google", "dns.quad9.net"],
+                "rounds": 2,
+                "interval_hours": 1,
+                "stagger_minutes": 0,
+            },
+        )
+        # 2 rounds x 2 resolvers x (3 domains + ping).
+        assert len(store) == 16
+        assert {r.campaign for r in store} == {"spec-run"}
+
+    def test_transport_spec(self, world):
+        store = run_spec(
+            world,
+            {
+                "name": "dot-spec",
+                "resolvers": ["dns.google"],
+                "transport": "dot",
+                "rounds": 1,
+                "stagger_minutes": 0,
+            },
+        )
+        queries = store.filter(kind="dns_query")
+        assert queries and all(r.transport == "dot" for r in queries)
+
+    def test_build_campaign_uses_current_time(self, world):
+        campaign = build_campaign(world, {"name": "later", "rounds": 1})
+        starts = campaign.config.schedule.round_starts()
+        assert starts[0] >= world.network.loop.now

@@ -1,0 +1,145 @@
+"""Tests for the TTL + LRU DNS cache."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dnswire.message import ResourceRecord
+from repro.dnswire.name import Name
+from repro.dnswire.rdata import ARdata
+from repro.dnswire.types import CLASS_IN, RCODE_NXDOMAIN, TYPE_A
+from repro.resolver.cache import DnsCache
+
+
+def key(text, rdtype=TYPE_A):
+    return (Name.from_text(text), rdtype, CLASS_IN)
+
+
+def a_record(owner, address="192.0.2.1", ttl=300):
+    return ResourceRecord(Name.from_text(owner), TYPE_A, CLASS_IN, ttl, ARdata(address))
+
+
+class TestPositiveCaching:
+    def test_miss_then_hit(self):
+        cache = DnsCache()
+        assert cache.get(key("a.example"), now_ms=0.0) is None
+        cache.put(key("a.example"), [a_record("a.example")], now_ms=0.0)
+        hit = cache.get(key("a.example"), now_ms=1000.0)
+        assert hit is not None and not hit.is_negative
+        assert hit.records[0].rdata.address == "192.0.2.1"
+
+    def test_ttl_decremented_by_age(self):
+        cache = DnsCache()
+        cache.put(key("a.example"), [a_record("a.example", ttl=300)], now_ms=0.0)
+        hit = cache.get(key("a.example"), now_ms=100_000.0)  # 100 s later
+        assert hit.records[0].ttl == 200
+
+    def test_expiry_at_ttl_horizon(self):
+        cache = DnsCache()
+        cache.put(key("a.example"), [a_record("a.example", ttl=10)], now_ms=0.0)
+        assert cache.get(key("a.example"), now_ms=9_999.0) is not None
+        assert cache.get(key("a.example"), now_ms=10_000.0) is None
+        assert cache.stats.expirations == 1
+
+    def test_lifetime_is_minimum_record_ttl(self):
+        cache = DnsCache()
+        cache.put(
+            key("a.example"),
+            [a_record("a.example", ttl=10), a_record("a.example", "192.0.2.2", ttl=100)],
+            now_ms=0.0,
+        )
+        assert cache.get(key("a.example"), now_ms=11_000.0) is None
+
+    def test_replacement_updates_entry(self):
+        cache = DnsCache()
+        cache.put(key("a.example"), [a_record("a.example", "192.0.2.1")], now_ms=0.0)
+        cache.put(key("a.example"), [a_record("a.example", "192.0.2.9")], now_ms=0.0)
+        hit = cache.get(key("a.example"), now_ms=1.0)
+        assert hit.records[0].rdata.address == "192.0.2.9"
+        assert len(cache) == 1
+
+    def test_empty_records_not_stored(self):
+        cache = DnsCache()
+        cache.put(key("a.example"), [], now_ms=0.0)
+        assert len(cache) == 0
+
+    def test_case_insensitive_keying(self):
+        cache = DnsCache()
+        cache.put(key("A.EXAMPLE"), [a_record("a.example")], now_ms=0.0)
+        assert cache.get(key("a.example"), now_ms=1.0) is not None
+
+
+class TestNegativeCaching:
+    def test_negative_hit(self):
+        cache = DnsCache()
+        cache.put_negative(key("missing.example"), RCODE_NXDOMAIN, ttl_seconds=60, now_ms=0.0)
+        hit = cache.get(key("missing.example"), now_ms=1000.0)
+        assert hit.is_negative
+        assert hit.negative_rcode == RCODE_NXDOMAIN
+        assert cache.stats.negative_hits == 1
+
+    def test_negative_entry_expires(self):
+        cache = DnsCache()
+        cache.put_negative(key("missing.example"), RCODE_NXDOMAIN, ttl_seconds=5, now_ms=0.0)
+        assert cache.get(key("missing.example"), now_ms=6_000.0) is None
+
+
+class TestLru:
+    def test_eviction_at_capacity(self):
+        cache = DnsCache(max_entries=3)
+        for index in range(4):
+            cache.put(key(f"h{index}.example"), [a_record(f"h{index}.example")], now_ms=0.0)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 1
+        assert cache.get(key("h0.example"), now_ms=1.0) is None  # oldest evicted
+
+    def test_recent_use_protects_from_eviction(self):
+        cache = DnsCache(max_entries=3)
+        for index in range(3):
+            cache.put(key(f"h{index}.example"), [a_record(f"h{index}.example")], now_ms=0.0)
+        cache.get(key("h0.example"), now_ms=1.0)  # refresh h0
+        cache.put(key("h3.example"), [a_record("h3.example")], now_ms=2.0)
+        assert cache.get(key("h0.example"), now_ms=3.0) is not None
+        assert cache.get(key("h1.example"), now_ms=3.0) is None
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DnsCache(max_entries=0)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = DnsCache()
+        cache.put(key("a.example"), [a_record("a.example")], now_ms=0.0)
+        cache.get(key("a.example"), now_ms=1.0)
+        cache.get(key("b.example"), now_ms=1.0)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_flush(self):
+        cache = DnsCache()
+        cache.put(key("a.example"), [a_record("a.example")], now_ms=0.0)
+        cache.flush()
+        assert len(cache) == 0
+
+    def test_contains(self):
+        cache = DnsCache()
+        cache.put(key("a.example"), [a_record("a.example")], now_ms=0.0)
+        assert key("a.example") in cache
+        assert key("b.example") not in cache
+
+
+@given(
+    ttls=st.lists(st.integers(min_value=1, max_value=3600), min_size=1, max_size=10),
+    probe_s=st.integers(min_value=0, max_value=4000),
+)
+def test_property_entry_visible_iff_before_min_ttl(ttls, probe_s):
+    cache = DnsCache()
+    records = [a_record("p.example", f"10.0.0.{i % 250}", ttl=ttl) for i, ttl in enumerate(ttls)]
+    cache.put(key("p.example"), records, now_ms=0.0)
+    hit = cache.get(key("p.example"), now_ms=probe_s * 1000.0)
+    if probe_s < min(ttls):
+        assert hit is not None
+        assert all(r.ttl == max(0, orig.ttl - probe_s) for r, orig in zip(hit.records, records))
+    else:
+        assert hit is None

@@ -1,0 +1,177 @@
+"""Tests for the recursive resolution engine over a real delegation tree."""
+
+import random
+
+import pytest
+
+from repro.dnswire.name import Name
+from repro.dnswire.types import RCODE_NOERROR, RCODE_NXDOMAIN, RCODE_SERVFAIL, TYPE_A, TYPE_TXT
+from repro.resolver.authoritative import AuthoritativeServer
+from repro.resolver.cache import DnsCache
+from repro.resolver.recursive import RecursiveResolver, RootHints
+from repro.resolver.zones import (
+    AUTH_SERVER_ADDRESSES,
+    ROOT_SERVER_ADDRESSES,
+    STUDY_DOMAINS,
+    TLD_SERVER_ADDRESSES,
+    ZoneSet,
+    build_world_zones,
+)
+from tests.conftest import add_host, make_quiet_network
+
+# Which zones each infrastructure server serves (split, so referrals happen).
+_SPLIT = {
+    "199.7.0.1": (".",),
+    "199.7.0.2": (".",),
+    "199.7.0.11": ("com.", "net."),
+    "199.7.0.12": ("com.", "net."),
+    "199.7.0.21": ("org.",),
+    "100.64.0.1": ("google.com.",),
+    "100.64.0.2": ("amazon.com.",),
+    "100.64.0.3": ("wikipedia.org.", "wikipedia.com."),
+    "100.64.0.4": ("example-sites.net.",),
+}
+
+
+def build_hierarchy(net, trace=False):
+    """Attach a split authoritative hierarchy; return the full zone set."""
+    zones = build_world_zones()
+    servers = {}
+    for ip, origins in _SPLIT.items():
+        host = add_host(net, f"auth-{ip}", ip, lat=39.04, lon=-77.49)
+        server_zones = ZoneSet()
+        for origin in origins:
+            server_zones.add_zone(zones.zone_at(Name.from_text(origin)))
+        server = AuthoritativeServer(server_zones)
+        server.serve_udp(host)
+        servers[ip] = server
+    return zones, servers
+
+
+def make_engine(net, seed=1):
+    host = add_host(net, "resolver", "203.0.113.1", lat=41.88, lon=-87.63)
+    cache = DnsCache()
+    engine = RecursiveResolver(
+        host=host,
+        cache=cache,
+        root_hints=RootHints(list(ROOT_SERVER_ADDRESSES.values())),
+        rng=random.Random(seed),
+    )
+    return engine, cache
+
+
+def resolve(net, engine, name, rdtype=TYPE_A):
+    results = []
+    engine.resolve_question(Name.from_text(name), rdtype, results.append)
+    net.run()
+    assert len(results) == 1
+    return results[0]
+
+
+class TestIterativeResolution:
+    def test_walks_root_tld_auth(self):
+        net = make_quiet_network()
+        _zones, servers = build_hierarchy(net)
+        engine, _cache = make_engine(net)
+        result = resolve(net, engine, "google.com")
+        assert result.ok and not result.from_cache
+        addresses = [getattr(r.rdata, "address", None) for r in result.records]
+        assert STUDY_DOMAINS["google.com."] in addresses
+        # Root, TLD and the google auth server each saw exactly one query.
+        assert servers["199.7.0.1"].queries_served == 1
+        assert servers["199.7.0.11"].queries_served == 1
+        assert servers["100.64.0.1"].queries_served == 1
+
+    def test_second_query_served_from_cache(self):
+        net = make_quiet_network()
+        build_hierarchy(net)
+        engine, _cache = make_engine(net)
+        resolve(net, engine, "google.com")
+        queries_before = engine.total_upstream_queries
+        result = resolve(net, engine, "google.com")
+        assert result.from_cache
+        assert engine.total_upstream_queries == queries_before
+
+    def test_cached_delegation_skips_root(self):
+        net = make_quiet_network()
+        _zones, servers = build_hierarchy(net)
+        engine, _cache = make_engine(net)
+        resolve(net, engine, "google.com")
+        root_before = servers["199.7.0.1"].queries_served
+        result = resolve(net, engine, "amazon.com")  # same TLD, fresh leaf
+        assert result.ok
+        assert servers["199.7.0.1"].queries_served == root_before  # no new root query
+
+    def test_cross_zone_cname_with_glueless_delegation(self):
+        net = make_quiet_network()
+        build_hierarchy(net)
+        engine, _cache = make_engine(net)
+        result = resolve(net, engine, "wikipedia.com")
+        assert result.ok
+        addresses = [getattr(r.rdata, "address", None) for r in result.records]
+        assert STUDY_DOMAINS["wikipedia.org."] in addresses
+
+    def test_nxdomain_propagated_and_cached(self):
+        net = make_quiet_network()
+        build_hierarchy(net)
+        engine, _cache = make_engine(net)
+        result = resolve(net, engine, "nope.google.com")
+        assert result.rcode == RCODE_NXDOMAIN
+        queries_before = engine.total_upstream_queries
+        again = resolve(net, engine, "nope.google.com")
+        assert again.rcode == RCODE_NXDOMAIN
+        assert again.from_cache
+        assert engine.total_upstream_queries == queries_before
+
+    def test_nodata_cached_negatively(self):
+        net = make_quiet_network()
+        build_hierarchy(net)
+        engine, _cache = make_engine(net)
+        result = resolve(net, engine, "amazon.com", TYPE_TXT)
+        assert result.ok and result.records == []
+        again = resolve(net, engine, "amazon.com", TYPE_TXT)
+        assert again.from_cache
+
+    def test_concurrent_identical_questions_coalesced(self):
+        net = make_quiet_network()
+        _zones, servers = build_hierarchy(net)
+        engine, _cache = make_engine(net)
+        results = []
+        for _ in range(5):
+            engine.resolve_question(Name.from_text("google.com"), TYPE_A, results.append)
+        net.run()
+        assert len(results) == 5
+        assert all(r.ok for r in results)
+        assert servers["100.64.0.1"].queries_served == 1  # one upstream walk
+
+    def test_timeout_fails_over_to_second_root(self):
+        net = make_quiet_network()
+        _zones, servers = build_hierarchy(net)
+        net.host_by_ip("199.7.0.1").blackholed = True
+        engine, _cache = make_engine(net)
+        result = resolve(net, engine, "google.com")
+        assert result.ok
+        assert servers["199.7.0.2"].queries_served >= 1
+
+    def test_all_roots_dead_gives_servfail(self):
+        net = make_quiet_network()
+        build_hierarchy(net)
+        net.host_by_ip("199.7.0.1").blackholed = True
+        net.host_by_ip("199.7.0.2").blackholed = True
+        engine, _cache = make_engine(net)
+        result = resolve(net, engine, "google.com")
+        assert result.rcode == RCODE_SERVFAIL
+
+    def test_counter_totals(self):
+        net = make_quiet_network()
+        build_hierarchy(net)
+        engine, _cache = make_engine(net)
+        resolve(net, engine, "google.com")
+        assert engine.total_questions == 1
+        assert engine.total_upstream_queries == 3  # root, TLD, auth
+
+
+class TestRootHints:
+    def test_empty_hints_rejected(self):
+        with pytest.raises(ValueError):
+            RootHints([])

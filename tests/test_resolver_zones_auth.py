@@ -1,0 +1,209 @@
+"""Tests for zone data and the authoritative answering algorithm."""
+
+import pytest
+
+from repro.dnswire.builder import make_query
+from repro.dnswire.name import Name
+from repro.dnswire.types import (
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+    RCODE_REFUSED,
+    TYPE_A,
+    TYPE_CNAME,
+    TYPE_MX,
+    TYPE_NS,
+    TYPE_SOA,
+    TYPE_TXT,
+)
+from repro.errors import ZoneError
+from repro.resolver.authoritative import AuthoritativeServer
+from repro.resolver.zones import (
+    AUTH_SERVER_ADDRESSES,
+    ROOT_SERVER_ADDRESSES,
+    STUDY_DOMAINS,
+    Zone,
+    ZoneSet,
+    build_world_zones,
+)
+
+
+@pytest.fixture(scope="module")
+def world_zones():
+    return build_world_zones()
+
+
+class TestZone:
+    def test_record_outside_origin_rejected(self, world_zones):
+        google = world_zones.zone_at(Name.from_text("google.com."))
+        from repro.dnswire.message import ResourceRecord
+        from repro.dnswire.rdata import ARdata
+
+        bad = ResourceRecord(Name.from_text("other.net."), TYPE_A, 1, 300, ARdata("10.0.0.1"))
+        with pytest.raises(ZoneError):
+            google.add(bad)
+
+    def test_delegation_must_be_below_origin(self, world_zones):
+        com = world_zones.zone_at(Name.from_text("com."))
+        with pytest.raises(ZoneError):
+            com.add_delegation(Name.from_text("org."), [])
+        with pytest.raises(ZoneError):
+            com.add_delegation(Name.from_text("com."), [])
+
+    def test_covering_delegation_longest_match(self):
+        zone = Zone(Name.from_text("example."))
+        from repro.dnswire.message import ResourceRecord
+        from repro.dnswire.rdata import NsRdata
+
+        def ns(owner):
+            return ResourceRecord(
+                Name.from_text(owner), TYPE_NS, 1, 300, NsRdata(Name.from_text("ns.x."))
+            )
+
+        zone.add_delegation(Name.from_text("a.example."), [ns("a.example.")])
+        zone.add_delegation(Name.from_text("b.a.example."), [ns("b.a.example.")])
+        covering = zone.covering_delegation(Name.from_text("x.b.a.example."))
+        assert covering is not None
+        assert covering[0] == Name.from_text("b.a.example.")
+
+    def test_zone_for_most_specific(self, world_zones):
+        zone = world_zones.zone_for(Name.from_text("www.google.com."))
+        assert zone.origin == Name.from_text("google.com.")
+        zone = world_zones.zone_for(Name.from_text("unknown-tld-name.com."))
+        assert zone.origin == Name.from_text("com.")
+
+    def test_duplicate_zone_rejected(self, world_zones):
+        zones = ZoneSet()
+        zones.add_zone(Zone(Name.from_text("x.")))
+        with pytest.raises(ZoneError):
+            zones.add_zone(Zone(Name.from_text("x.")))
+
+    def test_world_zone_inventory(self, world_zones):
+        origins = {z.origin.to_text() for z in world_zones.zones}
+        assert {".", "com.", "org.", "net.", "google.com.", "amazon.com.",
+                "wikipedia.com.", "wikipedia.org.", "example-sites.net."} <= origins
+
+    def test_every_zone_has_soa_and_ns(self, world_zones):
+        for zone in world_zones.zones:
+            assert zone.soa() is not None, zone.origin
+            assert zone.lookup(zone.origin, TYPE_NS), zone.origin
+
+
+class TestAuthoritativeAnswers:
+    @pytest.fixture()
+    def server(self, world_zones):
+        return AuthoritativeServer(world_zones)
+
+    def _ask(self, server, name, rdtype=TYPE_A):
+        return server.answer(make_query(name, rdtype, msg_id=1))
+
+    def test_exact_answer_with_aa(self, server):
+        response = self._ask(server, "google.com")
+        assert response.rcode == RCODE_NOERROR
+        assert response.header.aa
+        assert response.answer_addresses() == [STUDY_DOMAINS["google.com."]]
+
+    def test_cname_chased_within_served_zones(self, server):
+        response = self._ask(server, "wikipedia.com")
+        types = [record.rdtype for record in response.answers]
+        assert TYPE_CNAME in types and TYPE_A in types
+        assert STUDY_DOMAINS["wikipedia.org."] in response.answer_addresses()
+
+    def test_nxdomain_with_soa(self, server):
+        response = self._ask(server, "no-such-name.google.com")
+        assert response.rcode == RCODE_NXDOMAIN
+        assert any(record.rdtype == TYPE_SOA for record in response.authorities)
+
+    def test_nodata_for_missing_type(self, server):
+        response = self._ask(server, "google.com", TYPE_MX)
+        assert response.rcode == RCODE_NOERROR
+        assert response.answers == []
+        assert any(record.rdtype == TYPE_SOA for record in response.authorities)
+
+    def test_txt_lookup(self, server):
+        response = self._ask(server, "google.com", TYPE_TXT)
+        assert response.answers and response.answers[0].rdtype == TYPE_TXT
+
+    def test_refused_outside_served_zones(self, world_zones):
+        google_only = ZoneSet()
+        google_only.add_zone(world_zones.zone_at(Name.from_text("google.com.")))
+        server = AuthoritativeServer(google_only)
+        response = server.answer(make_query("example.org", msg_id=1))
+        assert response.rcode == RCODE_REFUSED
+
+    def test_referral_from_parent_zone(self, world_zones):
+        tld_only = ZoneSet()
+        tld_only.add_zone(world_zones.zone_at(Name.from_text("com.")))
+        server = AuthoritativeServer(tld_only)
+        response = server.answer(make_query("www.google.com", msg_id=1))
+        assert response.rcode == RCODE_NOERROR
+        assert not response.header.aa
+        assert response.answers == []
+        ns_targets = {r.rdata.target.to_text() for r in response.authorities if r.rdtype == TYPE_NS}
+        assert "ns1.google.com." in ns_targets
+        glue = {getattr(r.rdata, "address", None) for r in response.additionals}
+        assert AUTH_SERVER_ADDRESSES["ns1.google.com."] in glue
+
+    def test_glueless_referral_has_no_additionals(self, world_zones):
+        tld_only = ZoneSet()
+        tld_only.add_zone(world_zones.zone_at(Name.from_text("com.")))
+        server = AuthoritativeServer(tld_only)
+        response = server.answer(make_query("wikipedia.com", msg_id=1))
+        assert response.authorities  # NS referral present
+        assert response.additionals == []  # ns1.wikipedia.org is out of bailiwick
+
+    def test_root_refers_to_tld(self, world_zones):
+        root_only = ZoneSet()
+        root_only.add_zone(world_zones.zone_at(Name.root()))
+        server = AuthoritativeServer(root_only)
+        response = server.answer(make_query("google.com", msg_id=1))
+        assert not response.header.aa
+        targets = {r.rdata.target.to_text() for r in response.authorities if r.rdtype == TYPE_NS}
+        assert "a.gtld-servers.net." in targets
+
+    def test_malformed_query_without_question(self, server):
+        from repro.dnswire.message import Header, Message
+
+        response = server.answer(Message(header=Header(msg_id=5)))
+        assert response.rcode != RCODE_NOERROR
+
+    def test_queries_served_counter(self, server):
+        before = server.queries_served
+        self._ask(server, "google.com")
+        assert server.queries_served == before + 1
+
+
+class TestAuthoritativeUdp:
+    def test_serve_udp_replies_from_queried_address(self):
+        from tests.conftest import add_host, make_quiet_network
+        from repro.netsim.sockets import SimUdpSocket
+        from repro.dnswire.message import Message
+
+        net = make_quiet_network()
+        client = add_host(net, "client", "10.0.0.1")
+        server_host = add_host(net, "auth", "10.0.0.2")
+        AuthoritativeServer(build_world_zones()).serve_udp(server_host)
+        socket = SimUdpSocket(client)
+        got = []
+        socket.on_datagram = lambda dgram: got.append(dgram)
+        socket.sendto(make_query("google.com", msg_id=9).to_wire(), server_host.ip, 53)
+        net.run()
+        assert len(got) == 1
+        assert got[0].src_ip == server_host.ip
+        message = Message.from_wire(got[0].payload)
+        assert message.header.msg_id == 9
+        assert message.answer_addresses() == [STUDY_DOMAINS["google.com."]]
+
+    def test_garbage_datagram_dropped(self):
+        from tests.conftest import add_host, make_quiet_network
+        from repro.netsim.sockets import SimUdpSocket
+
+        net = make_quiet_network()
+        client = add_host(net, "client", "10.0.0.1")
+        server_host = add_host(net, "auth", "10.0.0.2")
+        AuthoritativeServer(build_world_zones()).serve_udp(server_host)
+        socket = SimUdpSocket(client)
+        got = []
+        socket.on_datagram = got.append
+        socket.sendto(b"\xff\xfe", server_host.ip, 53)
+        net.run()
+        assert got == []

@@ -1,0 +1,262 @@
+"""Tests for the simulated TLS layer: records, sessions, handshakes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TlsError, TlsHandshakeError
+from repro.netsim.sockets import SimTcpConnection
+from repro.tlssim.record import (
+    CONTENT_APPLICATION_DATA,
+    CONTENT_HANDSHAKE,
+    MAX_RECORD_BODY,
+    RecordStream,
+    wrap_record,
+)
+from repro.tlssim.session import SessionCache, SessionTicket
+from repro.tlssim.handshake import (
+    TlsClientConfig,
+    TlsClientConnection,
+    TlsServerConfig,
+    TlsServerConnection,
+)
+from tests.conftest import add_host, make_quiet_network
+
+
+class TestRecordFraming:
+    def test_round_trip_single_record(self):
+        stream = RecordStream()
+        records = stream.feed(wrap_record(CONTENT_HANDSHAKE, b"hello"))
+        assert records == [(CONTENT_HANDSHAKE, b"hello")]
+
+    def test_incremental_feed(self):
+        wire = wrap_record(CONTENT_APPLICATION_DATA, b"abcdef")
+        stream = RecordStream()
+        assert stream.feed(wire[:3]) == []
+        assert stream.feed(wire[3:7]) == []
+        assert stream.feed(wire[7:]) == [(CONTENT_APPLICATION_DATA, b"abcdef")]
+
+    def test_multiple_records_in_one_feed(self):
+        wire = wrap_record(22, b"a") + wrap_record(23, b"bb")
+        assert RecordStream().feed(wire) == [(22, b"a"), (23, b"bb")]
+
+    def test_large_body_split_across_records(self):
+        body = b"x" * (MAX_RECORD_BODY + 100)
+        records = RecordStream().feed(wrap_record(23, body))
+        assert len(records) == 2
+        assert b"".join(payload for _t, payload in records) == body
+
+    def test_empty_body(self):
+        assert RecordStream().feed(wrap_record(23, b"")) == [(23, b"")]
+
+    def test_bad_version_rejected(self):
+        stream = RecordStream()
+        with pytest.raises(TlsError):
+            stream.feed(bytes([22, 0x02, 0x00, 0x00, 0x01, 0x00]))
+
+    @given(bodies=st.lists(st.binary(min_size=0, max_size=200), min_size=1, max_size=10))
+    def test_property_concatenated_records_round_trip(self, bodies):
+        wire = b"".join(wrap_record(23, body) for body in bodies)
+        records = RecordStream().feed(wire)
+        assert [payload for _t, payload in records] == list(bodies)
+
+
+class TestSessionCache:
+    def test_store_and_lookup(self):
+        cache = SessionCache()
+        ticket = SessionTicket.issue("dns.example", "1.3", True, now_ms=0.0)
+        cache.store(ticket)
+        assert cache.lookup("dns.example", now_ms=1000.0) is ticket
+        assert cache.hits == 1
+
+    def test_miss_counts(self):
+        cache = SessionCache()
+        assert cache.lookup("nobody", now_ms=0.0) is None
+        assert cache.misses == 1
+
+    def test_expired_ticket_evicted(self):
+        cache = SessionCache()
+        ticket = SessionTicket.issue("dns.example", "1.3", True, now_ms=0.0, lifetime_ms=100.0)
+        cache.store(ticket)
+        assert cache.lookup("dns.example", now_ms=200.0) is None
+        assert len(cache) == 0
+
+    def test_newer_ticket_wins(self):
+        cache = SessionCache()
+        old = SessionTicket.issue("dns.example", "1.3", False, now_ms=0.0)
+        new = SessionTicket.issue("dns.example", "1.3", True, now_ms=10.0)
+        cache.store(old)
+        cache.store(new)
+        assert cache.lookup("dns.example", now_ms=20.0) is new
+
+    def test_invalidate(self):
+        cache = SessionCache()
+        cache.store(SessionTicket.issue("dns.example", "1.3", True, now_ms=0.0))
+        cache.invalidate("dns.example")
+        assert cache.lookup("dns.example", now_ms=1.0) is None
+
+
+def run_handshake(
+    client_versions=("1.3", "1.2"),
+    server_versions=("1.3", "1.2"),
+    client_alpn=("h2", "http/1.1"),
+    server_alpn=("h2", "http/1.1"),
+    cache=None,
+    early_data=True,
+    rounds=1,
+):
+    """Drive `rounds` sequential connections; return per-round details."""
+    net = make_quiet_network()
+    # A long path (Chicago <-> Frankfurt, ~99 ms RTT) so the fixed crypto
+    # processing delays are negligible against round-trip counts.
+    a = add_host(net, "client", "10.0.0.1", lat=41.88, lon=-87.63)
+    b = add_host(net, "server", "10.0.0.2", lat=50.11, lon=8.68, continent="EU")
+    rtt = net.path_between(a, b).base_rtt_ms
+    server_config = TlsServerConfig(versions=server_versions, alpn_preference=server_alpn)
+
+    def acceptor(tcp_conn):
+        server = TlsServerConnection(tcp_conn, server_config)
+        server.on_application_data = lambda data: server.send_application(b"echo:" + data)
+
+    b.listen_tcp(443, acceptor)
+    results = []
+    for _round in range(rounds):
+        detail = {}
+        started = net.now
+
+        def on_tcp(conn, detail=detail, started=started):
+            tls = TlsClientConnection(
+                conn,
+                "dns.example",
+                TlsClientConfig(
+                    versions=client_versions,
+                    alpn=client_alpn,
+                    session_cache=cache,
+                    enable_early_data=early_data,
+                ),
+                on_established=lambda c: detail.setdefault("established_at", net.now),
+                on_error=lambda exc: detail.setdefault("error", exc),
+            )
+            tls.on_application_data = lambda data: detail.setdefault(
+                "response", (net.now, data)
+            )
+            tls.send_application(b"ping")
+            detail["tls"] = tls
+
+        SimTcpConnection.connect(
+            a, b.ip, 443, on_tcp, on_error=lambda exc: detail.setdefault("error", exc)
+        )
+        net.run()
+        detail["started"] = started
+        detail["rtt"] = rtt
+        results.append(detail)
+        tls = detail.get("tls")
+        if tls is not None:
+            tls.close()
+            net.run()
+    return results
+
+
+class TestHandshakes:
+    def test_tls13_full_is_three_rtt_to_response(self):
+        (detail,) = run_handshake(client_versions=("1.3",))
+        elapsed = detail["response"][0] - detail["started"]
+        assert elapsed / detail["rtt"] == pytest.approx(3.0, rel=0.05)
+        assert detail["tls"].negotiated_version == "1.3"
+        assert detail["response"][1] == b"echo:ping"
+
+    def test_tls12_full_is_four_rtt_to_response(self):
+        (detail,) = run_handshake(client_versions=("1.2",), server_versions=("1.2",))
+        elapsed = detail["response"][0] - detail["started"]
+        assert elapsed / detail["rtt"] == pytest.approx(4.0, rel=0.05)
+        assert detail["tls"].negotiated_version == "1.2"
+
+    def test_version_negotiation_prefers_server_order(self):
+        (detail,) = run_handshake(client_versions=("1.2", "1.3"), server_versions=("1.3", "1.2"))
+        assert detail["tls"].negotiated_version == "1.3"
+
+    def test_version_mismatch_alerts(self):
+        (detail,) = run_handshake(client_versions=("1.3",), server_versions=("1.2",))
+        assert isinstance(detail["error"], TlsHandshakeError)
+        assert "response" not in detail
+
+    def test_alpn_negotiated(self):
+        (detail,) = run_handshake(client_alpn=("http/1.1",), server_alpn=("h2", "http/1.1"))
+        assert detail["tls"].negotiated_alpn == "http/1.1"
+
+    def test_alpn_mismatch_alerts(self):
+        (detail,) = run_handshake(client_alpn=("spdy",), server_alpn=("h2",))
+        assert isinstance(detail["error"], TlsHandshakeError)
+
+    def test_resumption_uses_ticket(self):
+        cache = SessionCache()
+        first, second = run_handshake(cache=cache, early_data=False, rounds=2)
+        assert not first["tls"].resumed
+        assert second["tls"].resumed
+
+    def test_zero_rtt_resumption_saves_a_round_trip(self):
+        cache = SessionCache()
+        first, second = run_handshake(cache=cache, early_data=True, rounds=2)
+        first_elapsed = first["response"][0] - first["started"]
+        second_elapsed = second["response"][0] - second["started"]
+        assert first_elapsed / first["rtt"] == pytest.approx(3.0, rel=0.05)
+        assert second_elapsed / second["rtt"] == pytest.approx(2.0, rel=0.05)
+        assert second["tls"].used_early_data
+
+    def test_resumed_handshake_sends_fewer_bytes(self):
+        cache = SessionCache()
+        first, second = run_handshake(cache=cache, early_data=False, rounds=2)
+        # No certificate in the resumed server flight.
+        assert second["tls"].handshake_bytes < first["tls"].handshake_bytes
+
+    def test_tls12_resumption_is_one_rtt_shorter(self):
+        cache = SessionCache()
+        first, second = run_handshake(
+            client_versions=("1.2",), server_versions=("1.2",), cache=cache, rounds=2
+        )
+        first_elapsed = first["response"][0] - first["started"]
+        second_elapsed = second["response"][0] - second["started"]
+        assert first_elapsed / first["rtt"] == pytest.approx(4.0, rel=0.05)
+        assert second_elapsed / second["rtt"] == pytest.approx(3.0, rel=0.05)
+
+
+class TestEarlyDataRejection:
+    def test_rejected_early_data_is_replayed(self):
+        net = make_quiet_network()
+        a = add_host(net, "client", "10.0.0.1", lat=41.88, lon=-87.63)
+        b = add_host(net, "server", "10.0.0.2", lat=39.96, lon=-83.00)
+        cache = SessionCache()
+        server_config = TlsServerConfig(allow_early_data=True)
+        received = []
+
+        def acceptor(tcp_conn):
+            server = TlsServerConnection(tcp_conn, server_config)
+
+            def on_data(data):
+                received.append(data)
+                server.send_application(b"echo:" + data)
+
+            server.on_application_data = on_data
+
+        b.listen_tcp(443, acceptor)
+
+        def one_round():
+            responses = []
+
+            def on_tcp(conn):
+                tls = TlsClientConnection(
+                    conn, "dns.example",
+                    TlsClientConfig(session_cache=cache, enable_early_data=True),
+                )
+                tls.on_application_data = responses.append
+                tls.send_application(b"ping")
+
+            SimTcpConnection.connect(a, b.ip, 443, on_tcp)
+            net.run()
+            return responses
+
+        assert one_round() == [b"echo:ping"]  # full handshake
+        # Server stops accepting early data (e.g. key rotation).
+        server_config.allow_early_data = False
+        assert one_round() == [b"echo:ping"]  # replayed after rejection
+        # Exactly one application delivery per round: no duplicates.
+        assert received == [b"ping", b"ping"]

@@ -1,0 +1,249 @@
+"""Tests for the web page-load model (the paper's future-work direction)."""
+
+import random
+
+import pytest
+
+from repro.catalog.resolvers import CATALOG
+from repro.errors import CampaignConfigError
+from repro.experiments.world import build_world
+from repro.webload import (
+    PageLoader,
+    StubResolver,
+    StubResolverConfig,
+    attach_web_servers,
+    news_site_page,
+    simple_page,
+)
+from repro.webload.page import ObjectSpec, PageSpec
+from repro.webload.world import register_page
+
+
+class TestPageSpec:
+    def test_simple_page_shape(self):
+        page = simple_page("google.com", ["a.example", "b.example"], objects_per_domain=3)
+        assert page.root.name == "index.html"
+        assert len(page.objects) == 6
+        assert page.domains == ["google.com", "a.example", "b.example"]
+        assert page.total_bytes == 40_000 + 6 * 20_000
+
+    def test_news_page_has_nested_discovery(self):
+        page = news_site_page("google.com", ["a.example", "b.example"])
+        vendor = next(o for o in page.objects if o.name == "vendor-0.js")
+        asset = next(o for o in page.objects if o.name == "asset-0.img")
+        assert vendor.discovered_by == "app.js"
+        assert asset.discovered_by == "vendor-0.js"
+
+    def test_children_of(self):
+        page = news_site_page("google.com", ["a.example", "b.example"])
+        names = {o.name for o in page.children_of("app.js")}
+        assert names == {"vendor-0.js", "vendor-1.js"}
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            PageSpec(
+                root=ObjectSpec("x", "d.example", 10),
+                objects=[ObjectSpec("x", "d.example", 10)],
+            )
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            PageSpec(
+                root=ObjectSpec("root", "d.example", 10),
+                objects=[ObjectSpec("a", "d.example", 10, discovered_by="ghost")],
+            )
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            PageSpec(
+                root=ObjectSpec("root", "d.example", 10),
+                objects=[
+                    ObjectSpec("a", "d.example", 10, discovered_by="b"),
+                    ObjectSpec("b", "d.example", 10, discovered_by="a"),
+                ],
+            )
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            ObjectSpec("x", "d.example", 0)
+
+    def test_news_page_needs_two_third_parties(self):
+        with pytest.raises(CampaignConfigError):
+            news_site_page("google.com", ["only-one.example"])
+
+
+@pytest.fixture(scope="module")
+def web_world():
+    catalog = [
+        entry for entry in CATALOG
+        if entry.hostname in ("dns.google", "dns.brahma.world")
+    ]
+    world = build_world(seed=29, catalog=catalog)
+    servers = attach_web_servers(world, example_hosts=4)
+    return world, servers
+
+
+def load_page(world, servers, page, resolver="dns.google", seed=1, loader=None,
+              stub_config=None):
+    register_page(servers, page)
+    host = world.vantage("ec2-ohio").host
+    own = loader is None
+    if own:
+        deployment = world.deployment(resolver)
+        stub = StubResolver(
+            host, deployment.service_ip, resolver,
+            stub_config or StubResolverConfig(), rng=random.Random(seed),
+        )
+        loader = PageLoader(host, stub)
+    results = []
+    loader.load(page, results.append)
+    world.network.run()
+    if own:
+        loader.close()
+        loader.stub.close()
+        world.network.run()
+    return results[0]
+
+
+class TestPageLoader:
+    def test_successful_load(self, web_world):
+        world, servers = web_world
+        page = simple_page("google.com", ["host1.example-sites.net"], objects_per_domain=2)
+        result = load_page(world, servers, page)
+        assert result.success
+        assert result.plt_ms is not None and result.plt_ms > 0
+        assert len(result.objects) == 3
+        assert result.bytes_fetched == page.total_bytes
+        assert result.dns_lookups == 2  # two distinct domains
+        assert "PLT" in result.describe()
+
+    def test_objects_respect_discovery_order(self, web_world):
+        world, servers = web_world
+        page = news_site_page(
+            "google.com", ["host1.example-sites.net", "host2.example-sites.net"]
+        )
+        result = load_page(world, servers, page, seed=2)
+        assert result.success
+        app_js = result.objects["app.js"]
+        vendor = result.objects["vendor-0.js"]
+        asset = result.objects["asset-0.img"]
+        assert vendor.started_ms >= app_js.finished_ms
+        assert asset.started_ms >= vendor.finished_ms
+
+    def test_per_domain_connection_reused(self, web_world):
+        world, servers = web_world
+        page = simple_page("google.com", [], objects_per_domain=0)
+        # Root + 4 same-domain objects: only the root pays TCP+TLS.
+        page = PageSpec(
+            root=ObjectSpec("index.html", "google.com", 40_000),
+            objects=[ObjectSpec(f"o{i}", "google.com", 20_000) for i in range(4)],
+        )
+        result = load_page(world, servers, page, seed=3)
+        assert result.success
+        root_time = result.objects["index.html"].duration_ms
+        # Children started together after the root, on the warm connection.
+        child_times = [result.objects[f"o{i}"].duration_ms for i in range(4)]
+        assert all(t < root_time for t in child_times)
+
+    def test_dns_cache_across_loads(self, web_world):
+        world, servers = web_world
+        page = simple_page("google.com", ["host3.example-sites.net"], objects_per_domain=1)
+        deployment = world.deployment("dns.google")
+        host = world.vantage("ec2-ohio").host
+        stub = StubResolver(host, deployment.service_ip, "dns.google",
+                            StubResolverConfig(), rng=random.Random(4))
+        loader = PageLoader(host, stub)
+        first = load_page(world, servers, page, loader=loader)
+        second = load_page(world, servers, page, loader=loader)
+        loader.close()
+        stub.close()
+        world.network.run()
+        assert first.dns_lookups == 2
+        assert second.dns_lookups == 0
+        assert second.dns_cache_hits == 2
+        assert second.plt_ms < first.plt_ms
+
+    def test_resolver_choice_moves_cold_plt(self, web_world):
+        """The paper's future-work question, answered on the substrate."""
+        world, servers = web_world
+        page = news_site_page(
+            "google.com",
+            ["host1.example-sites.net", "host2.example-sites.net",
+             "host4.example-sites.net"],
+        )
+        near = load_page(world, servers, page, resolver="dns.google", seed=5)
+        far = load_page(world, servers, page, resolver="dns.brahma.world", seed=5)
+        assert near.success and far.success
+        # dns.brahma.world is ~300 ms away from Ohio; every cold lookup on
+        # the discovery chain lands on the critical path.
+        assert far.plt_ms > near.plt_ms + 200.0
+        assert far.dns_total_ms > near.dns_total_ms * 3
+
+    def test_missing_object_fails_load(self, web_world):
+        world, servers = web_world
+        page = PageSpec(root=ObjectSpec("not-registered-anywhere", "google.com", 10))
+        host = world.vantage("ec2-ohio").host
+        deployment = world.deployment("dns.google")
+        stub = StubResolver(host, deployment.service_ip, "dns.google",
+                            rng=random.Random(6))
+        loader = PageLoader(host, stub)
+        results = []
+        loader.load(page, results.append)
+        world.network.run()
+        assert not results[0].success
+        assert "HTTP 404" in results[0].error
+
+    def test_unresolvable_domain_fails_load(self, web_world):
+        world, servers = web_world
+        page = PageSpec(root=ObjectSpec("x", "no-such-domain.example-sites.net", 10))
+        host = world.vantage("ec2-ohio").host
+        deployment = world.deployment("dns.google")
+        stub = StubResolver(host, deployment.service_ip, "dns.google",
+                            rng=random.Random(7))
+        loader = PageLoader(host, stub)
+        results = []
+        loader.load(page, results.append)
+        world.network.run()
+        assert not results[0].success
+
+    def test_register_page_requires_servers(self, web_world):
+        world, servers = web_world
+        page = simple_page("unhosted.example", [], objects_per_domain=0)
+        with pytest.raises(CampaignConfigError):
+            register_page(servers, page)
+
+
+class TestStubResolver:
+    def test_do53_transport(self, web_world):
+        world, _servers = web_world
+        host = world.vantage("ec2-ohio").host
+        deployment = world.deployment("dns.google")
+        stub = StubResolver(
+            host, deployment.service_ip, "dns.google",
+            StubResolverConfig(transport="do53"), rng=random.Random(8),
+        )
+        results = []
+        stub.resolve("google.com", lambda addrs, err: results.append((addrs, err)))
+        world.network.run()
+        addrs, err = results[0]
+        assert err is None and addrs == ["142.250.64.78"]
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(CampaignConfigError):
+            StubResolverConfig(transport="carrier-pigeon")
+
+    def test_flush_cache(self, web_world):
+        world, _servers = web_world
+        host = world.vantage("ec2-ohio").host
+        deployment = world.deployment("dns.google")
+        stub = StubResolver(host, deployment.service_ip, "dns.google",
+                            rng=random.Random(9))
+        done = []
+        stub.resolve("amazon.com", lambda a, e: done.append(1))
+        world.network.run()
+        stub.flush_cache()
+        stub.resolve("amazon.com", lambda a, e: done.append(2))
+        world.network.run()
+        assert stub.upstream_queries == 2
+        stub.close()
+        world.network.run()
