@@ -13,8 +13,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.analysis.stats import median
-from repro.core.errors_taxonomy import ErrorClass
+from repro.core.errors_taxonomy import CONNECTION_ESTABLISHMENT_CLASSES, ErrorClass
 from repro.core.results import ResultStore
+
+#: String values of the paper's dominant error group, for record matching.
+_ESTABLISHMENT_VALUES = frozenset(c.value for c in CONNECTION_ESTABLISHMENT_CLASSES)
 
 
 @dataclass
@@ -61,12 +64,7 @@ def availability_report(store: ResultStore, vantage: Optional[str] = None) -> Av
     establishment = sum(
         count
         for error_class, count in breakdown.items()
-        if error_class
-        in (
-            ErrorClass.CONNECT_REFUSED.value,
-            ErrorClass.CONNECT_TIMEOUT.value,
-            ErrorClass.TLS_HANDSHAKE.value,
-        )
+        if error_class in _ESTABLISHMENT_VALUES
     )
     share = establishment / len(failures) if failures else 0.0
     return AvailabilityReport(
@@ -75,6 +73,79 @@ def availability_report(store: ResultStore, vantage: Optional[str] = None) -> Av
         error_breakdown=breakdown,
         connection_establishment_share=share,
     )
+
+
+@dataclass
+class ResolverErrorProfile:
+    """Per-resolver error characterization (journal-version §5 shape)."""
+
+    resolver: str
+    attempts: int
+    errors: int
+    breakdown: Counter = field(default_factory=Counter)
+
+    @property
+    def error_rate(self) -> float:
+        return self.errors / self.attempts if self.attempts else 0.0
+
+    @property
+    def connection_establishment_share(self) -> float:
+        if not self.errors:
+            return 0.0
+        establishment = sum(
+            count
+            for error_class, count in self.breakdown.items()
+            if error_class in _ESTABLISHMENT_VALUES
+        )
+        return establishment / self.errors
+
+    def describe(self) -> str:
+        classes = ", ".join(
+            f"{error_class}={count}" for error_class, count in self.breakdown.most_common()
+        )
+        return (
+            f"{self.resolver}: {self.errors}/{self.attempts} failed "
+            f"({self.error_rate:.2%}; {classes or 'no errors'})"
+        )
+
+
+def per_resolver_error_breakdown(
+    store: ResultStore, vantage: Optional[str] = None
+) -> Dict[str, ResolverErrorProfile]:
+    """Per-resolver, per-class error counts over DNS query records.
+
+    Reproduces the journal version's error taxonomy table: for each
+    resolver, how many attempts failed and how the failures split across
+    :class:`~repro.core.errors_taxonomy.ErrorClass` values.
+    """
+    profiles: Dict[str, ResolverErrorProfile] = {}
+    for resolver, records in store.by_resolver(kind="dns_query", vantage=vantage).items():
+        failures = [r for r in records if not r.success]
+        profiles[resolver] = ResolverErrorProfile(
+            resolver=resolver,
+            attempts=len(records),
+            errors=len(failures),
+            breakdown=Counter(r.error_class or "unknown" for r in failures),
+        )
+    return profiles
+
+
+def error_class_shares(store: ResultStore, vantage: Optional[str] = None) -> Dict[str, float]:
+    """Share of each error class among all failed DNS queries."""
+    failures = store.filter(kind="dns_query", vantage=vantage, success=False)
+    if not failures:
+        return {}
+    counts = Counter(r.error_class or "unknown" for r in failures)
+    total = sum(counts.values())
+    return {error_class: count / total for error_class, count in counts.items()}
+
+
+def retry_burden(store: ResultStore, vantage: Optional[str] = None) -> float:
+    """Mean attempts per final DNS query record (1.0 = no retries needed)."""
+    records = store.filter(kind="dns_query", vantage=vantage)
+    if not records:
+        return 0.0
+    return sum(r.attempts for r in records) / len(records)
 
 
 def per_resolver_availability(

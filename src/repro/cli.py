@@ -52,26 +52,51 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
+    from repro.core.runner import RetryPolicy
     from repro.experiments.world import build_world
 
     world = build_world(seed=args.seed)
     vantages = [world.vantage(name) for name in args.vantage]
+    schedule = PeriodicSchedule(
+        rounds=args.rounds, interval_ms=args.interval_hours * MS_PER_HOUR
+    )
     config = CampaignConfig(
         name=args.name,
-        schedule=PeriodicSchedule(
-            rounds=args.rounds, interval_ms=args.interval_hours * MS_PER_HOUR
-        ),
+        schedule=schedule,
         probe_config=DohProbeConfig(method=args.method),
+        retry=RetryPolicy(attempts=args.attempts),
         seed=args.seed,
     )
+    targets = world.targets(args.resolver or None)
+    if args.faults:
+        from repro.faults import FaultPlan, FaultPlanConfig, inject_faults
+
+        plan = FaultPlan.generate(
+            [target.hostname for target in targets],
+            horizon_ms=schedule.total_span_ms + schedule.interval_ms,
+            seed=args.fault_seed,
+            config=FaultPlanConfig(impaired_time_fraction=args.fault_fraction),
+        )
+        injector = inject_faults(
+            world.network,
+            [world.deployments[target.hostname] for target in targets],
+            plan,
+        )
+        print(f"armed fault plan: {plan.describe()}")
+        print(f"injector: {injector.describe()}")
     store = Campaign(
         network=world.network,
         vantages=vantages,
-        targets=world.targets(args.resolver or None),
+        targets=targets,
         config=config,
     ).run()
     count = store.save_jsonl(args.output)
     print(f"wrote {count} records to {args.output}")
+    if args.faults:
+        from repro.analysis.availability import availability_report
+
+        availability = availability_report(store)
+        print(availability.describe())
     return 0
 
 
@@ -228,6 +253,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_measure.add_argument("--method", choices=["POST", "GET"], default="POST")
     p_measure.add_argument("--seed", type=int, default=0)
     p_measure.add_argument("--output", default="results.jsonl")
+    p_measure.add_argument(
+        "--attempts", type=int, default=1,
+        help="total tries per query (retries with exponential backoff)",
+    )
+    p_measure.add_argument(
+        "--faults", action="store_true",
+        help="inject a seeded fault plan (outages, TLS windows, loss/latency spikes)",
+    )
+    p_measure.add_argument(
+        "--fault-seed", type=int, default=20230919,
+        help="seed of the generated fault plan",
+    )
+    p_measure.add_argument(
+        "--fault-fraction", type=float, default=0.030,
+        help="expected fraction of each resolver's time under a fault window",
+    )
     p_measure.set_defaults(func=_cmd_measure)
 
     p_report = sub.add_parser("report", help="full paper-vs-measured report")

@@ -38,11 +38,18 @@ class ErrorClass(str, Enum):
     @property
     def is_connection_establishment(self) -> bool:
         """True for the paper's dominant class: couldn't establish a connection."""
-        return self in (
-            ErrorClass.CONNECT_REFUSED,
-            ErrorClass.CONNECT_TIMEOUT,
-            ErrorClass.TLS_HANDSHAKE,
-        )
+        return self in CONNECTION_ESTABLISHMENT_CLASSES
+
+
+#: The paper's dominant error group: the probe never got a working
+#: connection (TCP refused, TCP connect timed out, or TLS never finished).
+CONNECTION_ESTABLISHMENT_CLASSES = frozenset(
+    {
+        ErrorClass.CONNECT_REFUSED,
+        ErrorClass.CONNECT_TIMEOUT,
+        ErrorClass.TLS_HANDSHAKE,
+    }
+)
 
 
 def classify_error(exc: BaseException) -> ErrorClass:

@@ -24,7 +24,12 @@ from repro.core.errors_taxonomy import ErrorClass, classify_error
 from repro.dnswire.builder import make_query
 from repro.dnswire.message import Message
 from repro.dnswire.types import RCODE_NOERROR, TYPE_A
-from repro.errors import DnsWireError, HttpStatusError, ProbeTimeout
+from repro.errors import (
+    CampaignConfigError,
+    DnsWireError,
+    HttpStatusError,
+    ProbeTimeout,
+)
 from repro.httpsim.doh import (
     DohCodecError,
     decode_doh_response,
@@ -41,6 +46,14 @@ from repro.tlssim.handshake import TlsClientConfig, TlsClientConnection
 from repro.tlssim.session import SessionCache
 
 DEFAULT_TIMEOUT_MS = 5000.0
+
+
+def _validate_timeout_ms(timeout_ms: float) -> None:
+    """Reject non-positive or non-numeric probe deadlines at construction."""
+    if not isinstance(timeout_ms, (int, float)) or isinstance(timeout_ms, bool):
+        raise CampaignConfigError(f"timeout_ms must be a number, got {timeout_ms!r}")
+    if timeout_ms <= 0:
+        raise CampaignConfigError(f"timeout_ms must be positive, got {timeout_ms!r}")
 
 
 @dataclass
@@ -76,6 +89,7 @@ class _OneShot:
     """Ensures a probe completes exactly once, with deadline handling."""
 
     def __init__(self, loop, timeout_ms: float, on_complete: OutcomeCallback) -> None:
+        _validate_timeout_ms(timeout_ms)
         self.loop = loop
         self.started_at = loop.now
         self.done = False
@@ -126,6 +140,11 @@ class DohProbeConfig:
     session_cache: Optional[SessionCache] = None
     enable_early_data: bool = False
     doh_path: str = "/dns-query"
+
+    def __post_init__(self) -> None:
+        _validate_timeout_ms(self.timeout_ms)
+        if self.method not in ("POST", "GET"):
+            raise CampaignConfigError(f"DoH method must be POST or GET, got {self.method!r}")
 
 
 class DohProbe:
@@ -333,6 +352,9 @@ class DotProbeConfig:
     reuse_connections: bool = False
     session_cache: Optional[SessionCache] = None
 
+    def __post_init__(self) -> None:
+        _validate_timeout_ms(self.timeout_ms)
+
 
 class DotProbe:
     """DNS-over-TLS probe (RFC 7858 length-prefixed framing on port 853)."""
@@ -446,6 +468,17 @@ class Do53ProbeConfig:
     retry_interval_ms: float = 2000.0
     #: Retry over TCP when a response arrives with the TC bit set.
     tcp_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        _validate_timeout_ms(self.timeout_ms)
+        if not isinstance(self.retries, int) or self.retries < 0:
+            raise CampaignConfigError(
+                f"retries must be a non-negative integer, got {self.retries!r}"
+            )
+        if self.retry_interval_ms <= 0:
+            raise CampaignConfigError(
+                f"retry_interval_ms must be positive, got {self.retry_interval_ms!r}"
+            )
 
 
 class Do53Probe:
@@ -568,6 +601,9 @@ class DoqProbeConfig:
     session_cache: Optional[SessionCache] = None
     enable_early_data: bool = True
 
+    def __post_init__(self) -> None:
+        _validate_timeout_ms(self.timeout_ms)
+
 
 class DoqProbe:
     """DNS over QUIC (RFC 9250): one query per bidirectional stream.
@@ -667,6 +703,7 @@ class PingProbe:
     """ICMP echo probe pairing each DNS measurement with a latency sample."""
 
     def __init__(self, host: Host, target_ip: str, timeout_ms: float = 3000.0) -> None:
+        _validate_timeout_ms(timeout_ms)
         self.host = host
         self.target_ip = target_ip
         self.timeout_ms = timeout_ms

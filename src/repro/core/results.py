@@ -19,13 +19,16 @@ class MeasurementRecord:
     """One probe outcome.
 
     ``kind`` is ``"dns_query"`` for a response-time measurement over any
-    DNS transport and ``"ping"`` for an ICMP latency measurement.
+    DNS transport, ``"ping"`` for an ICMP latency measurement, and
+    ``"dns_query_attempt"`` for an intermediate failed attempt recorded
+    when a campaign's retry policy keeps per-attempt records (analysis
+    operates on the final ``"dns_query"`` records only).
     """
 
     campaign: str
     vantage: str
     resolver: str
-    kind: str  # "dns_query" | "ping"
+    kind: str  # "dns_query" | "ping" | "dns_query_attempt"
     transport: str  # "doh" | "dot" | "do53" | "icmp"
     domain: Optional[str]
     round_index: int
@@ -39,6 +42,9 @@ class MeasurementRecord:
     tls_version: Optional[str] = None
     response_size: Optional[int] = None
     connection_reused: bool = False
+    #: Which attempt produced this outcome (1 = first try); > 1 means the
+    #: campaign's retry policy re-issued the query after failures.
+    attempts: int = 1
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), separators=(",", ":"), sort_keys=True)

@@ -8,21 +8,79 @@ round, from each vantage point, for each target resolver:
 2. issue one ICMP ping and record the round-trip latency.
 
 Every outcome — success or classified failure — lands in the
-:class:`~repro.core.results.ResultStore` as one record.
+:class:`~repro.core.results.ResultStore` as one record.  A
+:class:`RetryPolicy` optionally re-issues failed queries with exponential
+backoff; the final record's ``attempts`` field counts the tries.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import FrozenSet, List, Optional, Sequence
 
+from repro.core.errors_taxonomy import CONNECTION_ESTABLISHMENT_CLASSES, ErrorClass
 from repro.core.probes import DohProbe, DohProbeConfig, PingProbe, ProbeOutcome
 from repro.core.results import MeasurementRecord, ResultStore
 from repro.core.scheduler import PeriodicSchedule
 from repro.core.vantage import VantagePoint
 from repro.errors import CampaignConfigError
 from repro.netsim.network import Network
+
+#: Error classes a retry can plausibly help with: transient network and
+#: connection-establishment conditions.  Protocol-level failures (bad
+#: rcode, malformed message, HTTP error) repeat deterministically and are
+#: not retried by default.
+DEFAULT_RETRYABLE_CLASSES: FrozenSet[ErrorClass] = frozenset(
+    CONNECTION_ESTABLISHMENT_CLASSES
+    | {ErrorClass.CONNECTION_RESET, ErrorClass.TIMEOUT}
+)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Campaign-level retry behaviour for failed DNS queries.
+
+    ``attempts`` is the total number of tries (1 = no retries).  The delay
+    before attempt ``n+1`` is ``backoff_base_ms * backoff_factor**(n-1)``
+    plus uniform jitter in ``[0, backoff_jitter_ms)`` drawn from the
+    campaign's per-measurement RNG, so backoff stays deterministic under a
+    fixed seed.
+    """
+
+    attempts: int = 1
+    backoff_base_ms: float = 250.0
+    backoff_factor: float = 2.0
+    backoff_jitter_ms: float = 50.0
+    retry_on: FrozenSet[ErrorClass] = DEFAULT_RETRYABLE_CLASSES
+    #: Also store each intermediate failed attempt as a record with
+    #: ``kind="dns_query_attempt"`` (final outcomes are always recorded).
+    record_attempts: bool = False
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.attempts, int) or self.attempts < 1:
+            raise CampaignConfigError(
+                f"retry attempts must be a positive integer, got {self.attempts!r}"
+            )
+        if self.backoff_base_ms < 0 or self.backoff_jitter_ms < 0:
+            raise CampaignConfigError("retry backoff times must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise CampaignConfigError(
+                f"backoff factor {self.backoff_factor!r} must be >= 1"
+            )
+
+    def should_retry(self, outcome: ProbeOutcome, attempt: int) -> bool:
+        """Whether a failed ``attempt`` (1-based) warrants another try."""
+        if outcome.success or attempt >= self.attempts:
+            return False
+        return outcome.error_class in self.retry_on
+
+    def backoff_ms(self, attempt: int, rng: random.Random) -> float:
+        """Delay before the attempt following ``attempt`` (1-based)."""
+        delay = self.backoff_base_ms * self.backoff_factor ** (attempt - 1)
+        if self.backoff_jitter_ms > 0:
+            delay += rng.uniform(0.0, self.backoff_jitter_ms)
+        return delay
 
 
 @dataclass(frozen=True)
@@ -57,6 +115,7 @@ class CampaignConfig:
     transport: str = "doh"
     probe_config: DohProbeConfig = field(default_factory=DohProbeConfig)
     ping: bool = True
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -180,19 +239,37 @@ class Campaign:
     ) -> None:
         probe = self._make_probe(vantage, target, rng)
         domains = list(self.config.domains)
+        policy = self.config.retry
 
         def query_next(index: int) -> None:
             if index >= len(domains):
                 probe.close()
                 return
             domain = domains[index]
-            started = self.network.loop.now
 
-            def on_outcome(outcome: ProbeOutcome) -> None:
-                self._record_query(round_index, vantage, target, domain, started, outcome)
-                query_next(index + 1)
+            def attempt(number: int) -> None:
+                started = self.network.loop.now
 
-            probe.query(domain, on_outcome)
+                def on_outcome(outcome: ProbeOutcome) -> None:
+                    if policy.should_retry(outcome, number):
+                        if policy.record_attempts:
+                            self._record_query(
+                                round_index, vantage, target, domain, started,
+                                outcome, attempts=number, kind="dns_query_attempt",
+                            )
+                        self.network.loop.call_later(
+                            policy.backoff_ms(number, rng), attempt, number + 1
+                        )
+                        return
+                    self._record_query(
+                        round_index, vantage, target, domain, started,
+                        outcome, attempts=number,
+                    )
+                    query_next(index + 1)
+
+                probe.query(domain, on_outcome)
+
+            attempt(1)
 
         query_next(0)
 
@@ -227,13 +304,15 @@ class Campaign:
         domain: str,
         started_at: float,
         outcome: ProbeOutcome,
+        attempts: int = 1,
+        kind: str = "dns_query",
     ) -> None:
         self.store.add(
             MeasurementRecord(
                 campaign=self.config.name,
                 vantage=vantage.name,
                 resolver=target.hostname,
-                kind="dns_query",
+                kind=kind,
                 transport=self.config.transport,
                 domain=domain,
                 round_index=round_index,
@@ -247,6 +326,7 @@ class Campaign:
                 tls_version=outcome.tls_version,
                 response_size=outcome.response_size,
                 connection_reused=outcome.connection_reused,
+                attempts=attempts,
             )
         )
 

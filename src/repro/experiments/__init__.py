@@ -13,8 +13,10 @@
 from repro.experiments.world import World, build_world
 from repro.experiments.campaigns import (
     ec2_campaign_config,
+    fault_campaign_config,
     home_campaign_config,
     monthly_recheck_config,
+    run_fault_study,
     run_study,
 )
 from repro.experiments.paper import PaperReport, generate_report
@@ -24,8 +26,10 @@ __all__ = [
     "World",
     "build_world",
     "ec2_campaign_config",
+    "fault_campaign_config",
     "generate_report",
     "home_campaign_config",
     "monthly_recheck_config",
+    "run_fault_study",
     "run_study",
 ]

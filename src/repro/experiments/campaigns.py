@@ -17,13 +17,14 @@ merged result store — the input to every analysis in the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.probes import DohProbeConfig
 from repro.core.results import ResultStore
-from repro.core.runner import Campaign, CampaignConfig
+from repro.core.runner import Campaign, CampaignConfig, RetryPolicy
 from repro.core.scheduler import MS_PER_HOUR, PeriodicSchedule
 from repro.experiments.world import World
+from repro.faults import FaultPlan, FaultPlanConfig, inject_faults
 
 
 def home_campaign_config(rounds: int = 30, seed: int = 101) -> CampaignConfig:
@@ -65,6 +66,85 @@ def monthly_recheck_config(
         probe_config=DohProbeConfig(),
         seed=seed,
     )
+
+
+def fault_campaign_config(
+    rounds: int = 8,
+    seed: int = 404,
+    retry: Optional[RetryPolicy] = None,
+    start_ms: float = 0.0,
+) -> CampaignConfig:
+    """Fault-study campaign: EC2 cadence with a modest retry budget.
+
+    Real measurement tools retry transient failures; the fault study runs
+    with ``attempts=2`` by default so retry behaviour shows up in the
+    ``attempts`` field of the records without masking persistent outages
+    (a fault window far outlasts one backoff interval).
+    """
+    return CampaignConfig(
+        name="ec2-faults",
+        schedule=PeriodicSchedule(
+            rounds=rounds,
+            interval_ms=8 * MS_PER_HOUR,
+            start_ms=start_ms,
+            stagger_ms=10 * 60 * 1000.0,
+        ),
+        probe_config=DohProbeConfig(),
+        retry=retry if retry is not None else RetryPolicy(attempts=2),
+        seed=seed,
+    )
+
+
+def run_fault_study(
+    world: World,
+    rounds: int = 8,
+    fault_seed: int = 20230919,
+    plan_config: Optional[FaultPlanConfig] = None,
+    retry: Optional[RetryPolicy] = None,
+    vantage_names: Optional[Sequence[str]] = None,
+    target_hostnames: Optional[Iterable[str]] = None,
+    store: Optional[ResultStore] = None,
+) -> Tuple[ResultStore, FaultPlan]:
+    """Run the fault-injected campaign: EC2 vantages under a seeded FaultPlan.
+
+    Generates a :class:`~repro.faults.FaultPlan` covering the campaign's
+    whole span, arms a :class:`~repro.faults.FaultInjector` over the
+    targeted deployments, then runs a retry-enabled campaign.  Returns the
+    result store and the plan (so callers can correlate failures with the
+    injected windows).  Everything is derived from ``fault_seed`` and the
+    campaign seed, so identical inputs reproduce identical results.
+    """
+    store = store if store is not None else ResultStore()
+    targets = world.targets(list(target_hostnames) if target_hostnames is not None else None)
+    names = list(vantage_names) if vantage_names is not None else [
+        name for name in EC2_VANTAGE_NAMES if name in world.vantages
+    ]
+    vantages = [world.vantage(name) for name in names]
+
+    start_ms = world.network.loop.now
+    config = fault_campaign_config(rounds=rounds, retry=retry, start_ms=start_ms)
+    # Cover the full span plus one interval of slack so windows can still be
+    # open while the last round's probes (and their retries) are in flight.
+    horizon_ms = config.schedule.total_span_ms + config.schedule.interval_ms
+    plan = FaultPlan.generate(
+        [target.hostname for target in targets],
+        horizon_ms=horizon_ms,
+        seed=fault_seed,
+        config=plan_config,
+    )
+    deployments = [world.deployments[target.hostname] for target in targets]
+    # The schedule starts at the current virtual time, and arm() interprets
+    # the plan relative to now — so plan-time 0 lines up with round 0.
+    inject_faults(world.network, deployments, plan, offset_ms=0.0)
+
+    Campaign(
+        network=world.network,
+        vantages=vantages,
+        targets=targets,
+        config=config,
+        store=store,
+    ).run()
+    return store, plan
 
 
 HOME_VANTAGE_NAMES = (

@@ -12,6 +12,7 @@ are invoked by :class:`repro.netsim.network.Network` when packets arrive.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.errors import AddressError, SocketError
@@ -26,6 +27,60 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: First ephemeral port handed out by :meth:`Host.allocate_port`.
 EPHEMERAL_PORT_START = 49152
+
+
+@dataclass
+class HostImpairments:
+    """Time-varying impairments placed on a host by a fault injector.
+
+    These are the mutation points the fault subsystem uses to model
+    transient outages and degradations; they compose with (and take
+    precedence over) the host's static policies.  All fields are reverted
+    by the injector when a fault window closes.
+
+    Attributes
+    ----------
+    syn_override:
+        ``"refuse"`` answers every inbound SYN with RST, ``"drop"``
+        silently discards it (the client times out).  ``None`` defers to
+        the host's normal :attr:`Host.syn_policy`.
+    tls_failure:
+        When True the host aborts every TLS handshake it serves with a
+        fatal alert (models certificate/configuration breakage windows).
+    extra_loss_rate:
+        Additional Bernoulli loss applied to every packet sent to or from
+        this host (a loss spike on its links).
+    extra_delay_ms:
+        Additional one-way delay applied to every packet sent to or from
+        this host (a latency spike / congested path).
+    extra_processing_ms:
+        Additional frontend service time per query (slow-start /
+        overload degradation).
+    """
+
+    syn_override: Optional[str] = None
+    tls_failure: bool = False
+    extra_loss_rate: float = 0.0
+    extra_delay_ms: float = 0.0
+    extra_processing_ms: float = 0.0
+
+    def clear(self) -> None:
+        """Reset every impairment to its neutral value."""
+        self.syn_override = None
+        self.tls_failure = False
+        self.extra_loss_rate = 0.0
+        self.extra_delay_ms = 0.0
+        self.extra_processing_ms = 0.0
+
+    @property
+    def any_active(self) -> bool:
+        return (
+            self.syn_override is not None
+            or self.tls_failure
+            or self.extra_loss_rate > 0.0
+            or self.extra_delay_ms > 0.0
+            or self.extra_processing_ms > 0.0
+        )
 
 
 class Host:
@@ -73,6 +128,9 @@ class Host:
         #: SYN: return "accept", "refuse" (RST back) or "drop" (silent).
         #: Used by resolver deployments to model flaky availability.
         self.syn_policy: Optional[Callable[[Segment], str]] = None
+        #: Mutable impairment state driven by the fault-injection subsystem
+        #: (see :mod:`repro.faults`); neutral by default.
+        self.impairments = HostImpairments()
 
     # -- port management ---------------------------------------------------
 
@@ -144,6 +202,15 @@ class Host:
             conn.handle_segment(segment)
             return
         if segment.flag == "SYN":
+            # Fault-injection override pre-empts both the listener table and
+            # the deployment's own admission policy: an outage window turns
+            # the whole host away regardless of its steady-state behaviour.
+            override = self.impairments.syn_override
+            if override == "refuse":
+                self._refuse(segment)
+                return
+            if override == "drop":
+                return
             acceptor = self._tcp_listeners.get(segment.dst_port)
             if acceptor is None:
                 self._refuse(segment)

@@ -173,3 +173,15 @@ class LatencyModel:
     def sample_loss(path: PathCharacteristics, rng: random.Random) -> bool:
         """Sample whether a packet on this path is lost."""
         return path.loss_rate > 0 and rng.random() < path.loss_rate
+
+    @staticmethod
+    def combined_loss_rate(*rates: float) -> float:
+        """Loss probability of independent loss processes stacked on a path.
+
+        Used to merge a path's steady-state loss with transient spikes
+        injected by the fault subsystem; each rate is clamped to [0, 1].
+        """
+        survive = 1.0
+        for rate in rates:
+            survive *= 1.0 - min(1.0, max(0.0, rate))
+        return 1.0 - survive

@@ -156,13 +156,26 @@ class Network:
                 on_lost(packet)
             return False
         path = self.path_between(src, dst)
-        if LatencyModel.sample_loss(path, self.rng):
+        # Transient impairments (fault windows) stack on top of the path's
+        # steady-state characteristics at both endpoints.
+        extra_delay = 0.0
+        if src.impairments.any_active or dst.impairments.any_active:
+            loss_rate = LatencyModel.combined_loss_rate(
+                path.loss_rate,
+                src.impairments.extra_loss_rate,
+                dst.impairments.extra_loss_rate,
+            )
+            lost = loss_rate > 0 and self.rng.random() < loss_rate
+            extra_delay = src.impairments.extra_delay_ms + dst.impairments.extra_delay_ms
+        else:
+            lost = LatencyModel.sample_loss(path, self.rng)
+        if lost:
             if self.trace is not None:
                 self.trace.record(self.loop.now, "lost", packet)
             if on_lost is not None:
                 on_lost(packet)
             return False
-        delay = LatencyModel.sample_one_way_ms(path, self.rng)
+        delay = LatencyModel.sample_one_way_ms(path, self.rng) + extra_delay
         if self.trace is not None:
             self.trace.record(self.loop.now, "sent", packet, delay_ms=delay)
         self.loop.call_later(delay, self._deliver, dst, packet)

@@ -113,6 +113,8 @@ class _FrontendBase:
             delay = self.deployment.processing.sample_ms(self.rng)
             # ODoH targets sit behind a relay: one extra hop each way.
             delay += 2.0 * self.deployment.odoh_relay_extra_ms
+            # Transient overload/degradation injected by a fault window.
+            delay += self.site.host.impairments.extra_processing_ms
             self._loop.call_later(delay, respond, response.to_wire())
 
         if question is None:

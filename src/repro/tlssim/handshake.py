@@ -407,6 +407,12 @@ class TlsServerConnection(_TlsEndpoint):
             pass
 
     def _handle_client_hello(self, hello: Dict) -> None:
+        if self.tcp.host.impairments.tls_failure:
+            # Fault window: the server cannot complete handshakes (expired
+            # certificate, broken key material); abort with a fatal alert.
+            self._send_alert("internal_error")
+            self.tcp.close()
+            return
         self.client_sni = hello.get("sni")
         client_versions = hello.get("versions", [])
         version = next((v for v in self.config.versions if v in client_versions), None)

@@ -187,3 +187,65 @@ class TestPingProbe:
                  rng=random.Random(1)).query("google.com", queries.append)
         world.network.run()
         assert queries[0].duration_ms > pings[0].duration_ms * 2.5
+
+
+class TestProbeConfigValidation:
+    """Bad timeout/retry parameters must fail at construction, not mid-probe."""
+
+    @pytest.mark.parametrize("timeout_ms", [0, -1, -0.5, "fast", None, True])
+    def test_doh_config_rejects_bad_timeouts(self, timeout_ms):
+        from repro.errors import CampaignConfigError
+
+        with pytest.raises(CampaignConfigError):
+            DohProbeConfig(timeout_ms=timeout_ms)
+
+    def test_doh_config_rejects_unknown_method(self):
+        from repro.errors import CampaignConfigError
+
+        with pytest.raises(CampaignConfigError):
+            DohProbeConfig(method="PATCH")
+
+    @pytest.mark.parametrize("timeout_ms", [0, -250.0])
+    def test_dot_config_rejects_bad_timeouts(self, timeout_ms):
+        from repro.errors import CampaignConfigError
+
+        with pytest.raises(CampaignConfigError):
+            DotProbeConfig(timeout_ms=timeout_ms)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(timeout_ms=0),
+            dict(retries=-1),
+            dict(retries=1.5),
+            dict(retry_interval_ms=0),
+        ],
+    )
+    def test_do53_config_rejects_bad_parameters(self, kwargs):
+        from repro.core.probes import Do53ProbeConfig
+        from repro.errors import CampaignConfigError
+
+        with pytest.raises(CampaignConfigError):
+            Do53ProbeConfig(**kwargs)
+
+    def test_doq_config_rejects_bad_timeout(self):
+        from repro.core.probes import DoqProbeConfig
+        from repro.errors import CampaignConfigError
+
+        with pytest.raises(CampaignConfigError):
+            DoqProbeConfig(timeout_ms=-1)
+
+    def test_ping_probe_rejects_bad_timeout(self, world):
+        from repro.errors import CampaignConfigError
+
+        host = world.vantage("ec2-ohio").host
+        with pytest.raises(CampaignConfigError):
+            PingProbe(host, "10.0.0.1", timeout_ms=0)
+
+    def test_valid_configs_accepted(self):
+        from repro.core.probes import Do53ProbeConfig, DoqProbeConfig
+
+        assert DohProbeConfig(timeout_ms=1.0).timeout_ms == 1.0
+        assert DotProbeConfig(timeout_ms=2500).timeout_ms == 2500
+        assert Do53ProbeConfig(retries=0).retries == 0
+        assert DoqProbeConfig(timeout_ms=4000.0).timeout_ms == 4000.0
