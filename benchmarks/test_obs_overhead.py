@@ -1,0 +1,116 @@
+"""OBS — cost of the observability layer.
+
+Two claims are checked:
+
+* the **no-op path** (the default ``NULL_RECORDER`` / disabled registry)
+  is cheap enough to leave compiled into every hot path — sub-microsecond
+  per operation;
+* a fully **traced campaign** (span collector + enabled metrics) stays
+  within a small factor of the untraced run, and the untraced run pays
+  essentially nothing for the instrumentation hooks.
+
+Timing uses ``time.perf_counter`` directly (median of several repeats)
+rather than the pytest-benchmark fixture so this file runs under a plain
+pytest install — the CI observability job executes it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import print_artifact
+from repro.catalog.resolvers import CATALOG
+from repro.core.runner import Campaign, CampaignConfig
+from repro.core.scheduler import MS_PER_HOUR, PeriodicSchedule
+from repro.experiments.world import build_world
+from repro.obs import NULL_RECORDER, MetricsRegistry, SpanCollector, tracing
+
+MICRO_OPS = 200_000
+#: Per-operation budget for the disabled path (generous for CI machines).
+MAX_NOOP_US = 2.0
+
+BENCH_HOSTNAMES = ("dns.google", "dns.quad9.net", "dns.brahma.world")
+BENCH_ROUNDS = 3
+
+
+def _per_op_us(func, ops: int = MICRO_OPS, repeats: int = 3) -> float:
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func(ops)
+        samples.append(time.perf_counter() - start)
+    return sorted(samples)[len(samples) // 2] / ops * 1e6
+
+
+def test_noop_recorder_is_sub_microsecond():
+    def spin(ops: int) -> None:
+        begin = NULL_RECORDER.begin
+        end = NULL_RECORDER.end
+        for i in range(ops):
+            end(begin("probe", float(i), transport="doh"), float(i))
+
+    per_op = _per_op_us(spin)
+    assert per_op < MAX_NOOP_US
+    print_artifact(
+        "No-op recorder cost",
+        f"begin+end: {per_op:.3f} us/op (budget {MAX_NOOP_US} us)",
+    )
+
+
+def test_disabled_metrics_are_sub_microsecond():
+    metrics = MetricsRegistry(enabled=False)
+
+    def spin(ops: int) -> None:
+        inc = metrics.inc
+        observe = metrics.observe
+        for i in range(ops):
+            if metrics.enabled:  # the hot-path guard used across the stack
+                inc("net.packets_sent", protocol="udp")
+                observe("campaign.query_ms", float(i))
+
+    per_op = _per_op_us(spin)
+    assert per_op < MAX_NOOP_US
+    print_artifact(
+        "Disabled metrics cost",
+        f"guarded inc+observe: {per_op:.3f} us/op (budget {MAX_NOOP_US} us)",
+    )
+
+
+def _run_bench_campaign(traced: bool) -> float:
+    """Wall-clock seconds for one small campaign, traced or not."""
+    catalog = [e for e in CATALOG if e.hostname in BENCH_HOSTNAMES]
+    world = build_world(seed=3, catalog=catalog)
+    config = CampaignConfig(
+        name="obs-overhead",
+        schedule=PeriodicSchedule(
+            rounds=BENCH_ROUNDS, interval_ms=MS_PER_HOUR,
+            start_ms=world.network.loop.now,
+        ),
+    )
+    campaign = Campaign(
+        network=world.network,
+        vantages=[world.vantage("ec2-ohio"), world.vantage("ec2-seoul")],
+        targets=world.targets(list(BENCH_HOSTNAMES)),
+        config=config,
+    )
+    start = time.perf_counter()
+    if traced:
+        with tracing(recorder=SpanCollector(), metrics=MetricsRegistry(enabled=True)):
+            campaign.run()
+    else:
+        campaign.run()
+    return time.perf_counter() - start
+
+
+def test_campaign_tracing_overhead_is_bounded():
+    # Interleave and take medians so machine noise hits both arms equally.
+    untraced = sorted(_run_bench_campaign(traced=False) for _ in range(3))[1]
+    traced = sorted(_run_bench_campaign(traced=True) for _ in range(3))[1]
+    ratio = traced / untraced
+    # Tracing every span + metric may cost something, but not multiples.
+    assert ratio < 3.0
+    print_artifact(
+        "Campaign tracing overhead",
+        f"untraced {untraced * 1e3:.1f} ms, traced {traced * 1e3:.1f} ms "
+        f"-> ratio {ratio:.2f}x (budget 3.0x)",
+    )

@@ -25,6 +25,17 @@ from repro.analysis.response_times import (
     resolver_medians,
 )
 from repro.analysis.figures import FigureRow, figure_rows, paper_figure
+from repro.analysis.phases import (
+    PhaseBreakdown,
+    PhaseDelta,
+    error_phases,
+    phase_breakdown,
+    phase_breakdowns,
+    phase_deltas,
+    render_error_phases,
+    render_phase_delta_table,
+    render_phase_table,
+)
 from repro.analysis.tables import table1_rows, table2_rows, table3_rows
 from repro.analysis.render import render_boxplot_rows, render_table
 from repro.analysis.correlation import LatencyCorrelation, latency_correlation
@@ -43,8 +54,17 @@ __all__ = [
     "drift_report",
     "drift_reports_over_time",
     "latency_correlation",
+    "PhaseBreakdown",
+    "PhaseDelta",
     "VantageDelta",
     "availability_report",
+    "error_phases",
+    "phase_breakdown",
+    "phase_breakdowns",
+    "phase_deltas",
+    "render_error_phases",
+    "render_phase_delta_table",
+    "render_phase_table",
     "figure_rows",
     "largest_vantage_deltas",
     "local_winners",

@@ -1,0 +1,235 @@
+"""Phase attribution: where each millisecond of a measurement went.
+
+Probes split every query's ``duration_ms`` into protocol phases — TCP
+connect, TLS (or QUIC) handshake, and the query exchange — recorded on
+the result as ``connect_ms`` / ``tls_ms`` / ``query_ms``.  This module
+aggregates those fields into the per-resolver / per-vantage breakdown
+tables behind the related-work observation the poster builds on: for
+non-mainstream unicast resolvers measured from a distant vantage point,
+connection establishment (TCP + TLS), not the resolution itself, accounts
+for the majority of the added response time.
+
+Failed queries carry ``failed_phase`` — the phase in flight when the
+probe gave up — so connection errors are attributable to a specific span
+(e.g. a dead resolver fails in ``tcp_connect``, a TLS fault window in
+``tls_handshake``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.render import render_table
+from repro.analysis.stats import median
+from repro.core.results import MeasurementRecord, ResultStore
+
+#: Order phases appear in tables.
+PHASE_FIELDS = ("connect_ms", "tls_ms", "query_ms")
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Median per-phase timings for one (resolver, vantage) cell.
+
+    Phase medians are computed independently, so they need not sum to
+    ``median_total_ms`` exactly (each is a median of its own marginal);
+    per-record the phases do sum to the record's duration.
+    """
+
+    resolver: str
+    vantage: str
+    count: int
+    median_total_ms: float
+    median_connect_ms: Optional[float]
+    median_tls_ms: Optional[float]
+    median_query_ms: Optional[float]
+
+    @property
+    def establishment_ms(self) -> float:
+        """Median TCP connect + TLS/QUIC handshake time."""
+        return (self.median_connect_ms or 0.0) + (self.median_tls_ms or 0.0)
+
+    @property
+    def establishment_share(self) -> float:
+        """Fraction of the total spent establishing the connection."""
+        if not self.median_total_ms:
+            return 0.0
+        return self.establishment_ms / self.median_total_ms
+
+
+def _phase_records(
+    store: ResultStore, vantage: Optional[str], resolver: Optional[str]
+) -> List[MeasurementRecord]:
+    return store.filter(
+        kind="dns_query",
+        vantage=vantage,
+        resolver=resolver,
+        success=True,
+        predicate=lambda r: r.duration_ms is not None,
+    )
+
+
+def phase_breakdown(
+    store: ResultStore, resolver: str, vantage: Optional[str] = None
+) -> Optional[PhaseBreakdown]:
+    """Median phase timings for one resolver (optionally one vantage)."""
+    records = _phase_records(store, vantage, resolver)
+    if not records:
+        return None
+
+    def field_median(name: str) -> Optional[float]:
+        values = [getattr(r, name) for r in records if getattr(r, name) is not None]
+        return median(values) if values else None
+
+    return PhaseBreakdown(
+        resolver=resolver,
+        vantage=vantage or "(all)",
+        count=len(records),
+        median_total_ms=median([r.duration_ms for r in records]),
+        median_connect_ms=field_median("connect_ms"),
+        median_tls_ms=field_median("tls_ms"),
+        median_query_ms=field_median("query_ms"),
+    )
+
+
+def phase_breakdowns(
+    store: ResultStore,
+    vantages: Optional[Sequence[str]] = None,
+    resolvers: Optional[Iterable[str]] = None,
+) -> List[PhaseBreakdown]:
+    """One breakdown per (vantage, resolver) pair with successful data."""
+    if vantages is None:
+        vantages = sorted({r.vantage for r in store.filter(kind="dns_query")})
+    wanted = set(resolvers) if resolvers is not None else None
+    out: List[PhaseBreakdown] = []
+    for vantage in vantages:
+        seen = sorted({r.resolver for r in store.filter(kind="dns_query", vantage=vantage)})
+        for resolver in seen:
+            if wanted is not None and resolver not in wanted:
+                continue
+            breakdown = phase_breakdown(store, resolver, vantage)
+            if breakdown is not None:
+                out.append(breakdown)
+    return out
+
+
+@dataclass(frozen=True)
+class PhaseDelta:
+    """Added latency far-vs-near, attributed to phases (Table 2/3 style)."""
+
+    resolver: str
+    near: PhaseBreakdown
+    far: PhaseBreakdown
+
+    @property
+    def added_total_ms(self) -> float:
+        return self.far.median_total_ms - self.near.median_total_ms
+
+    @property
+    def added_establishment_ms(self) -> float:
+        return self.far.establishment_ms - self.near.establishment_ms
+
+    @property
+    def establishment_share_of_added(self) -> float:
+        """Fraction of the added latency spent in TCP + TLS establishment."""
+        if not self.added_total_ms:
+            return 0.0
+        return self.added_establishment_ms / self.added_total_ms
+
+
+def phase_deltas(
+    store: ResultStore,
+    resolvers: Iterable[str],
+    near_vantage: str,
+    far_vantage: str,
+) -> List[PhaseDelta]:
+    """Per-resolver far-vs-near phase attribution, largest gap first."""
+    deltas = []
+    for resolver in resolvers:
+        near = phase_breakdown(store, resolver, near_vantage)
+        far = phase_breakdown(store, resolver, far_vantage)
+        if near is None or far is None:
+            continue
+        deltas.append(PhaseDelta(resolver=resolver, near=near, far=far))
+    deltas.sort(key=lambda d: d.added_total_ms, reverse=True)
+    return deltas
+
+
+def error_phases(
+    store: ResultStore,
+    vantage: Optional[str] = None,
+    resolver: Optional[str] = None,
+) -> Dict[str, int]:
+    """Failed queries counted by the phase that was in flight.
+
+    Keys are phase names (``tcp_connect``, ``tls_handshake``, …) with
+    ``"(unknown)"`` for failures recorded without phase data (e.g. loaded
+    from pre-phase-tracking result files).
+    """
+    counts: Dict[str, int] = {}
+    for record in store.filter(
+        kind="dns_query", vantage=vantage, resolver=resolver, success=False
+    ):
+        phase = record.failed_phase or "(unknown)"
+        counts[phase] = counts.get(phase, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _fmt(value: Optional[float]) -> str:
+    return f"{value:.1f}" if value is not None else "—"
+
+
+def render_phase_table(breakdowns: Sequence[PhaseBreakdown]) -> str:
+    """Markdown table of per-cell phase medians and establishment share."""
+    header = (
+        "Vantage", "Resolver", "n", "total (ms)",
+        "connect", "tls", "query", "estab %",
+    )
+    rows = [
+        (
+            b.vantage,
+            b.resolver,
+            str(b.count),
+            _fmt(b.median_total_ms),
+            _fmt(b.median_connect_ms),
+            _fmt(b.median_tls_ms),
+            _fmt(b.median_query_ms),
+            f"{100.0 * b.establishment_share:.0f}%",
+        )
+        for b in breakdowns
+    ]
+    return render_table(header, rows)
+
+
+def render_phase_delta_table(
+    deltas: Sequence[PhaseDelta], title: Optional[str] = None
+) -> str:
+    """Markdown table attributing far-vs-near added latency to phases."""
+    header = (
+        "Resolver", "near (ms)", "far (ms)", "added (ms)",
+        "added estab (ms)", "estab share of added",
+    )
+    rows = [
+        (
+            d.resolver,
+            _fmt(d.near.median_total_ms),
+            _fmt(d.far.median_total_ms),
+            _fmt(d.added_total_ms),
+            _fmt(d.added_establishment_ms),
+            f"{100.0 * d.establishment_share_of_added:.0f}%",
+        )
+        for d in deltas
+    ]
+    table = render_table(header, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def render_error_phases(counts: Dict[str, int]) -> str:
+    """Markdown table of error counts by failed phase."""
+    header = ("Failed phase", "errors")
+    rows = [(phase, str(count)) for phase, count in counts.items()]
+    return render_table(header, rows)

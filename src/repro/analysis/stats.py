@@ -29,7 +29,10 @@ def quantile(values: Sequence[float], q: float) -> float:
     if lower == upper:
         return ordered[lower]
     weight = position - lower
-    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+    result = ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+    # Rounding (notably on subnormals) can push the interpolation outside
+    # the bracketing samples, breaking quantile monotonicity; clamp back.
+    return min(max(result, ordered[lower]), ordered[upper])
 
 
 def median(values: Sequence[float]) -> float:

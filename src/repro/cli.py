@@ -8,6 +8,8 @@ Subcommands:
 * ``report``  — run the full study and print the paper-vs-measured claim
   table plus Tables 2/3;
 * ``figure``  — render one of the paper's figures as ASCII boxplots;
+* ``trace``   — run a small traced campaign and export phase-level spans
+  (JSONL) and/or a text span tree;
 * ``query``   — issue a single DoH query from a vantage point and print a
   dig-style response.
 """
@@ -52,8 +54,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_measure(args: argparse.Namespace) -> int:
-    from repro.core.runner import RetryPolicy
+    from repro.core.runner import RetryPolicy, RoundProgress
     from repro.experiments.world import build_world
+    from repro.obs import MetricsRegistry, SpanCollector
 
     world = build_world(seed=args.seed)
     vantages = [world.vantage(name) for name in args.vantage]
@@ -84,14 +87,32 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         )
         print(f"armed fault plan: {plan.describe()}")
         print(f"injector: {injector.describe()}")
-    store = Campaign(
-        network=world.network,
-        vantages=vantages,
-        targets=targets,
-        config=config,
-    ).run()
+    recorder = SpanCollector() if args.trace else None
+    metrics = (
+        MetricsRegistry(enabled=True) if (args.metrics or args.progress) else None
+    )
+    on_round = (
+        (lambda progress: print(progress.describe())) if args.progress else None
+    )
+    store = _run_instrumented(
+        Campaign(
+            network=world.network,
+            vantages=vantages,
+            targets=targets,
+            config=config,
+            recorder=recorder,
+            on_round_complete=on_round,
+        ),
+        metrics,
+    )
     count = store.save_jsonl(args.output)
     print(f"wrote {count} records to {args.output}")
+    if recorder is not None:
+        spans = recorder.save_jsonl(args.trace)
+        print(f"wrote {spans} spans to {args.trace}")
+    if args.metrics and metrics is not None:
+        metrics.save_json(args.metrics)
+        print(f"wrote metrics to {args.metrics}")
     if args.faults:
         from repro.analysis.availability import availability_report
 
@@ -100,21 +121,78 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_instrumented(campaign: Campaign, metrics) -> ResultStore:
+    """Run a campaign, installing ``metrics`` ambiently if given.
+
+    The registry must be ambient (not just passed to the campaign) so the
+    protocol layers — TLS, HTTP, QUIC, the network fabric — report into it.
+    """
+    if metrics is None:
+        return campaign.run()
+    from repro.obs import NULL_RECORDER, tracing
+
+    # The campaign's explicit recorder (if any) already wins over the
+    # ambient one; install NULL ambiently so spans stay off unless asked.
+    ambient_recorder = campaign._recorder if campaign._recorder is not None else NULL_RECORDER
+    with tracing(recorder=ambient_recorder, metrics=metrics):
+        return campaign.run()
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.paper import generate_report
+    from repro.obs import NULL_RECORDER, MetricsRegistry, SpanCollector, tracing
 
-    report = generate_report(
-        home_rounds=args.home_rounds, ec2_rounds=args.ec2_rounds, seed=args.seed
-    )
+    recorder = SpanCollector() if args.trace else NULL_RECORDER
+    metrics = MetricsRegistry(enabled=bool(args.metrics))
+    with tracing(recorder=recorder, metrics=metrics):
+        report = generate_report(
+            home_rounds=args.home_rounds, ec2_rounds=args.ec2_rounds, seed=args.seed
+        )
     print(report.describe())
     print()
     for table in ("table1", "table2", "table3"):
         print(report.rendered_tables[table])
         print()
+    if args.phases and report.store is not None:
+        _print_phase_tables(report.store)
+    if args.trace:
+        spans = recorder.save_jsonl(args.trace)
+        print(f"wrote {spans} spans to {args.trace}")
+    if args.metrics:
+        metrics.save_json(args.metrics)
+        print(f"wrote metrics to {args.metrics}")
     if args.output and report.store is not None:
         report.store.save_jsonl(args.output)
         print(f"wrote {len(report.store)} records to {args.output}")
     return 0 if report.holds_count == len(report.claims) else 1
+
+
+def _print_phase_tables(store: ResultStore, near: str = "ec2-frankfurt",
+                        far: str = "ec2-seoul") -> None:
+    """Phase attribution: far-vs-near deltas plus error breakdown."""
+    from repro.analysis.phases import (
+        error_phases,
+        phase_deltas,
+        render_error_phases,
+        render_phase_delta_table,
+    )
+
+    non_mainstream_unicast = [
+        e.hostname for e in CATALOG
+        if not e.mainstream and not e.anycast and e.region == "EU"
+    ]
+    deltas = phase_deltas(store, non_mainstream_unicast, near, far)
+    if deltas:
+        print(render_phase_delta_table(
+            deltas,
+            title=f"Phase attribution: non-mainstream unicast EU resolvers, "
+                  f"{far} vs {near}",
+        ))
+        print()
+    errors = error_phases(store)
+    if errors:
+        print(render_error_phases(errors))
+        print()
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
@@ -204,6 +282,51 @@ def _cmd_run_config(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments.world import build_world
+    from repro.obs import MetricsRegistry, SpanCollector, tracing
+
+    world = build_world(seed=args.seed)
+    vantages = [world.vantage(name) for name in args.vantage]
+    targets = world.targets(args.resolver or None)
+    schedule = PeriodicSchedule(
+        rounds=args.rounds, interval_ms=args.interval_hours * MS_PER_HOUR
+    )
+    config = CampaignConfig(
+        name=args.name,
+        schedule=schedule,
+        transport=args.transport,
+        probe_config=DohProbeConfig(),
+        seed=args.seed,
+    )
+    recorder = SpanCollector()
+    metrics = MetricsRegistry(enabled=True)
+    with tracing(recorder=recorder, metrics=metrics):
+        store = Campaign(
+            network=world.network,
+            vantages=vantages,
+            targets=targets,
+            config=config,
+            recorder=recorder,
+            metrics=metrics,
+        ).run()
+    print(
+        f"traced {len(store)} records: {len(recorder)} spans, "
+        f"{len(recorder.roots())} roots"
+    )
+    if args.output:
+        spans = recorder.save_jsonl(args.output)
+        print(f"wrote {spans} spans to {args.output}")
+    if args.tree:
+        print(recorder.render_tree(max_spans=args.max_spans))
+    if args.metrics_output:
+        metrics.save_json(args.metrics_output)
+        print(f"wrote metrics to {args.metrics_output}")
+    if args.summary:
+        print(metrics.summary())
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.experiments.world import build_world
 
@@ -269,6 +392,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-fraction", type=float, default=0.030,
         help="expected fraction of each resolver's time under a fault window",
     )
+    p_measure.add_argument(
+        "--trace", metavar="PATH",
+        help="collect phase-level spans and write them as JSONL",
+    )
+    p_measure.add_argument(
+        "--metrics", metavar="PATH",
+        help="collect stack-wide metrics and write a JSON snapshot",
+    )
+    p_measure.add_argument(
+        "--progress", action="store_true",
+        help="print one structured line per completed round",
+    )
     p_measure.set_defaults(func=_cmd_measure)
 
     p_report = sub.add_parser("report", help="full paper-vs-measured report")
@@ -276,6 +411,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--ec2-rounds", type=int, default=10)
     p_report.add_argument("--seed", type=int, default=0)
     p_report.add_argument("--output", help="also write raw records (JSONL)")
+    p_report.add_argument(
+        "--phases", action="store_true",
+        help="print the phase-attribution tables (establishment vs query)",
+    )
+    p_report.add_argument(
+        "--trace", metavar="PATH",
+        help="collect phase-level spans during the study and write JSONL",
+    )
+    p_report.add_argument(
+        "--metrics", metavar="PATH",
+        help="collect stack-wide metrics during the study and write JSON",
+    )
     p_report.set_defaults(func=_cmd_report)
 
     p_figure = sub.add_parser("figure", help="render a paper figure")
@@ -306,6 +453,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_config.add_argument("config", help="path to the JSON spec")
     p_config.add_argument("--output", help="JSONL output (default: <name>.jsonl)")
     p_config.set_defaults(func=_cmd_run_config)
+
+    p_trace = sub.add_parser(
+        "trace", help="run a traced campaign; export phase-level spans"
+    )
+    p_trace.add_argument("--name", default="cli-trace")
+    p_trace.add_argument("--vantage", nargs="+", default=["ec2-ohio"])
+    p_trace.add_argument("--resolver", nargs="*", help="hostnames (default: all)")
+    p_trace.add_argument("--rounds", type=int, default=1)
+    p_trace.add_argument("--interval-hours", type=float, default=1.0)
+    p_trace.add_argument(
+        "--transport", choices=["doh", "dot", "do53", "doq"], default="doh"
+    )
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--output", default="spans.jsonl", help="span JSONL path")
+    p_trace.add_argument("--tree", action="store_true", help="print the span tree")
+    p_trace.add_argument(
+        "--max-spans", type=int, default=None,
+        help="limit the printed tree to the first N spans",
+    )
+    p_trace.add_argument("--metrics-output", help="also write a metrics JSON snapshot")
+    p_trace.add_argument(
+        "--summary", action="store_true", help="print the metrics summary"
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_query = sub.add_parser("query", help="one DoH query, dig-style output")
     p_query.add_argument("resolver")

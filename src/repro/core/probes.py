@@ -41,6 +41,7 @@ from repro.netsim.host import Host
 from repro.netsim.icmp import PingResult, ping
 from repro.netsim.packet import Datagram
 from repro.netsim.sockets import SimTcpConnection, SimUdpSocket
+from repro.obs import PhaseClock, SpanRecorder, get_recorder
 from repro.resolver.frontends import _LengthPrefixedStream
 from repro.tlssim.handshake import TlsClientConfig, TlsClientConnection
 from repro.tlssim.session import SessionCache
@@ -71,6 +72,14 @@ class ProbeOutcome:
     response_size: Optional[int] = None
     connection_reused: bool = False
     answers: List[str] = field(default_factory=list)
+    #: Phase timings (ms): TCP connect, TLS/QUIC handshake, and the query
+    #: exchange.  Filled by the probe's :class:`~repro.obs.PhaseClock`;
+    #: ``None`` for phases that did not occur.
+    connect_ms: Optional[float] = None
+    tls_ms: Optional[float] = None
+    query_ms: Optional[float] = None
+    #: The phase in flight when a failed probe gave up (None on success).
+    failed_phase: Optional[str] = None
 
     @classmethod
     def failure(cls, duration_ms: Optional[float], exc: BaseException) -> "ProbeOutcome":
@@ -83,6 +92,28 @@ class ProbeOutcome:
 
 
 OutcomeCallback = Callable[[ProbeOutcome], None]
+
+#: Phases whose durations roll up into ``ProbeOutcome.query_ms``.
+_QUERY_PHASES = ("http_exchange", "dns_exchange", "dns_parse")
+
+
+def _finalize_phases(clock: PhaseClock, on_complete: OutcomeCallback) -> OutcomeCallback:
+    """Wrap ``on_complete`` so phase timings land on the outcome first."""
+
+    def wrapped(outcome: ProbeOutcome) -> None:
+        phases = clock.finish(
+            outcome.success,
+            error=outcome.error_class.value if outcome.error_class else None,
+        )
+        outcome.connect_ms = phases.get("tcp_connect")
+        tls_ms = phases.get("tls_handshake")
+        outcome.tls_ms = tls_ms if tls_ms is not None else phases.get("quic_handshake")
+        if any(phase in phases for phase in _QUERY_PHASES):
+            outcome.query_ms = sum(phases.get(phase, 0.0) for phase in _QUERY_PHASES)
+        outcome.failed_phase = clock.failed_phase
+        on_complete(outcome)
+
+    return wrapped
 
 
 class _OneShot:
@@ -157,12 +188,14 @@ class DohProbe:
         server_name: str,
         config: Optional[DohProbeConfig] = None,
         rng: Optional[random.Random] = None,
+        recorder: Optional[SpanRecorder] = None,
     ) -> None:
         self.host = host
         self.service_ip = service_ip
         self.server_name = server_name
         self.config = config or DohProbeConfig()
         self.rng = rng if rng is not None else random.Random(0)
+        self.recorder = recorder
         self._live_tls: Optional[TlsClientConnection] = None
         self._live_h2: Optional[H2ClientSession] = None
         self._live_h1_parser: Optional[H1ResponseParser] = None
@@ -180,22 +213,33 @@ class DohProbe:
         domain: str,
         on_complete: OutcomeCallback,
         qtype: int = TYPE_A,
+        span_parent: Optional[int] = None,
     ) -> None:
         """Measure one DoH query's end-to-end response time."""
-        shot = _OneShot(self._loop, self.config.timeout_ms, on_complete)
+        clock = PhaseClock(
+            self._loop,
+            self.recorder if self.recorder is not None else get_recorder(),
+            parent_id=span_parent,
+            transport="doh",
+            server=self.server_name,
+            domain=domain,
+        )
+        shot = _OneShot(
+            self._loop, self.config.timeout_ms, _finalize_phases(clock, on_complete)
+        )
         query = make_query(domain, qtype, msg_id=0, rng=self.rng)
         dns_wire = query.to_wire()
         reused = self.config.reuse_connections and self._live_tls is not None
         if reused:
             try:
-                self._send_on_live(shot, dns_wire, reused=True)
+                self._send_on_live(shot, dns_wire, reused=True, clock=clock)
             except Exception:
                 # The kept-alive connection died underneath us (server FIN /
                 # idle teardown): fall back to a fresh establishment.
                 self.close()
-                self._establish_then_send(shot, dns_wire)
+                self._establish_then_send(shot, dns_wire, clock)
         else:
-            self._establish_then_send(shot, dns_wire)
+            self._establish_then_send(shot, dns_wire, clock)
 
     def close(self) -> None:
         """Drop any kept-alive connection."""
@@ -207,7 +251,9 @@ class DohProbe:
 
     # -- connection management ---------------------------------------------------
 
-    def _establish_then_send(self, shot: _OneShot, dns_wire: bytes) -> None:
+    def _establish_then_send(
+        self, shot: _OneShot, dns_wire: bytes, clock: PhaseClock
+    ) -> None:
         tls_config = TlsClientConfig(
             versions=tuple(self.config.tls_versions),
             alpn=tuple(self.config.http_versions),
@@ -219,12 +265,13 @@ class DohProbe:
             if self.config.reuse_connections:
                 self._live_tls = tls
             self._setup_http(tls)
-            self._send_on_tls(shot, tls, dns_wire, reused=False)
+            self._send_on_tls(shot, tls, dns_wire, reused=False, clock=clock)
 
         def on_tcp_established(conn: SimTcpConnection) -> None:
             if shot.done:
                 conn.close()
                 return
+            clock.enter("tls_handshake")
             tls = TlsClientConnection(
                 conn,
                 self.server_name,
@@ -238,6 +285,7 @@ class DohProbe:
         # The TCP connect deadline sits just inside the probe deadline so a
         # never-answered SYN classifies as a connection-establishment
         # failure rather than a generic probe timeout.
+        clock.enter("tcp_connect")
         SimTcpConnection.connect(
             self.host,
             self.service_ip,
@@ -262,20 +310,28 @@ class DohProbe:
                 self._live_h1_parser = parser
             tls._h1_parser = parser  # type: ignore[attr-defined]
 
-    def _send_on_live(self, shot: _OneShot, dns_wire: bytes, reused: bool) -> None:
+    def _send_on_live(
+        self, shot: _OneShot, dns_wire: bytes, reused: bool, clock: PhaseClock
+    ) -> None:
         tls = self._live_tls
         assert tls is not None
-        self._send_on_tls(shot, tls, dns_wire, reused=reused)
+        self._send_on_tls(shot, tls, dns_wire, reused=reused, clock=clock)
 
     def _send_on_tls(
-        self, shot: _OneShot, tls: TlsClientConnection, dns_wire: bytes, reused: bool
+        self,
+        shot: _OneShot,
+        tls: TlsClientConnection,
+        dns_wire: bytes,
+        reused: bool,
+        clock: PhaseClock,
     ) -> None:
+        clock.enter("http_exchange")
         request = encode_doh_request(
             dns_wire, method=self.config.method, path=self.config.doh_path
         )
 
         def on_http_response(response) -> None:
-            self._finish_from_http(shot, tls, response, reused)
+            self._finish_from_http(shot, tls, response, reused, clock)
 
         h2_session = getattr(tls, "_h2_session", None)
         if h2_session is not None:
@@ -303,7 +359,14 @@ class DohProbe:
         tls.on_application_data = on_app_data
         tls.send_application(encode_request(request, host=self.server_name))
 
-    def _finish_from_http(self, shot: _OneShot, tls: TlsClientConnection, response, reused: bool) -> None:
+    def _finish_from_http(
+        self,
+        shot: _OneShot,
+        tls: TlsClientConnection,
+        response,
+        reused: bool,
+        clock: PhaseClock,
+    ) -> None:
         if shot.done:
             return
         if response.status != 200:
@@ -315,6 +378,7 @@ class DohProbe:
             outcome.tls_version = tls.negotiated_version
             shot.finish(outcome)
             return
+        clock.enter("dns_parse")
         try:
             dns_wire = decode_doh_response(response)
             message = Message.from_wire(dns_wire)
@@ -366,12 +430,14 @@ class DotProbe:
         server_name: str,
         config: Optional[DotProbeConfig] = None,
         rng: Optional[random.Random] = None,
+        recorder: Optional[SpanRecorder] = None,
     ) -> None:
         self.host = host
         self.service_ip = service_ip
         self.server_name = server_name
         self.config = config or DotProbeConfig()
         self.rng = rng if rng is not None else random.Random(0)
+        self.recorder = recorder
         self._live_tls: Optional[TlsClientConnection] = None
 
     @property
@@ -379,12 +445,28 @@ class DotProbe:
         assert self.host.network is not None
         return self.host.network.loop
 
-    def query(self, domain: str, on_complete: OutcomeCallback, qtype: int = TYPE_A) -> None:
-        shot = _OneShot(self._loop, self.config.timeout_ms, on_complete)
+    def query(
+        self,
+        domain: str,
+        on_complete: OutcomeCallback,
+        qtype: int = TYPE_A,
+        span_parent: Optional[int] = None,
+    ) -> None:
+        clock = PhaseClock(
+            self._loop,
+            self.recorder if self.recorder is not None else get_recorder(),
+            parent_id=span_parent,
+            transport="dot",
+            server=self.server_name,
+            domain=domain,
+        )
+        shot = _OneShot(
+            self._loop, self.config.timeout_ms, _finalize_phases(clock, on_complete)
+        )
         query = make_query(domain, qtype, rng=self.rng)
         framed = _LengthPrefixedStream.frame(query.to_wire())
         if self.config.reuse_connections and self._live_tls is not None:
-            self._exchange(shot, self._live_tls, framed, query, reused=True)
+            self._exchange(shot, self._live_tls, framed, query, reused=True, clock=clock)
             return
 
         tls_config = TlsClientConfig(
@@ -398,16 +480,18 @@ class DotProbe:
                 self._live_tls = tls
             else:
                 shot.add_cleanup(tls.close)
-            self._exchange(shot, tls, framed, query, reused=False)
+            self._exchange(shot, tls, framed, query, reused=False, clock=clock)
 
         def on_tcp(conn: SimTcpConnection) -> None:
             if shot.done:
                 conn.close()
                 return
+            clock.enter("tls_handshake")
             TlsClientConnection(
                 conn, self.server_name, tls_config, on_established=on_tls, on_error=shot.fail
             )
 
+        clock.enter("tcp_connect")
         SimTcpConnection.connect(
             self.host, self.service_ip, 853, on_tcp, on_error=shot.fail,
             timeout_ms=max(1.0, self.config.timeout_ms - 1.0),
@@ -420,17 +504,21 @@ class DotProbe:
         framed: bytes,
         query: Message,
         reused: bool,
+        clock: PhaseClock,
     ) -> None:
+        clock.enter("dns_exchange")
         stream = _LengthPrefixedStream()
 
         def on_app_data(data: bytes) -> None:
             for wire in stream.feed(data):
+                clock.enter("dns_parse")
                 try:
                     message = Message.from_wire(wire)
                 except DnsWireError as exc:
                     shot.fail(exc)
                     return
                 if message.header.msg_id != query.header.msg_id:
+                    clock.enter("dns_exchange")
                     continue
                 success = message.rcode == RCODE_NOERROR
                 shot.finish(
@@ -490,19 +578,37 @@ class Do53Probe:
         service_ip: str,
         config: Optional[Do53ProbeConfig] = None,
         rng: Optional[random.Random] = None,
+        recorder: Optional[SpanRecorder] = None,
     ) -> None:
         self.host = host
         self.service_ip = service_ip
         self.config = config or Do53ProbeConfig()
         self.rng = rng if rng is not None else random.Random(0)
+        self.recorder = recorder
 
     @property
     def _loop(self):
         assert self.host.network is not None
         return self.host.network.loop
 
-    def query(self, domain: str, on_complete: OutcomeCallback, qtype: int = TYPE_A) -> None:
-        shot = _OneShot(self._loop, self.config.timeout_ms, on_complete)
+    def query(
+        self,
+        domain: str,
+        on_complete: OutcomeCallback,
+        qtype: int = TYPE_A,
+        span_parent: Optional[int] = None,
+    ) -> None:
+        clock = PhaseClock(
+            self._loop,
+            self.recorder if self.recorder is not None else get_recorder(),
+            parent_id=span_parent,
+            transport="do53",
+            server=self.service_ip,
+            domain=domain,
+        )
+        shot = _OneShot(
+            self._loop, self.config.timeout_ms, _finalize_phases(clock, on_complete)
+        )
         query = make_query(domain, qtype, rng=self.rng)
         wire = query.to_wire()
         socket = SimUdpSocket(self.host)
@@ -534,15 +640,18 @@ class Do53Probe:
 
             def on_established(conn: SimTcpConnection) -> None:
                 shot.add_cleanup(conn.close)
+                clock.enter("dns_exchange")
 
                 def on_data(data: bytes) -> None:
                     for response_wire in stream.feed(data):
+                        clock.enter("dns_parse")
                         try:
                             message = Message.from_wire(response_wire)
                         except DnsWireError as exc:
                             shot.fail(exc)
                             return
                         if message.header.msg_id != query.header.msg_id:
+                            clock.enter("dns_exchange")
                             continue
                         finish_with(message, len(response_wire), via_tcp=True)
                         return
@@ -550,6 +659,7 @@ class Do53Probe:
                 conn.on_data = on_data
                 conn.send(framed)
 
+            clock.enter("tcp_connect")
             SimTcpConnection.connect(
                 self.host, self.service_ip, 53, on_established,
                 on_error=shot.fail,
@@ -557,12 +667,14 @@ class Do53Probe:
             )
 
         def on_datagram(dgram: Datagram) -> None:
+            clock.enter("dns_parse")
             try:
                 message = Message.from_wire(dgram.payload)
             except DnsWireError as exc:
                 shot.fail(exc)
                 return
             if message.header.msg_id != query.header.msg_id:
+                clock.enter("dns_exchange")
                 return
             if message.header.tc and self.config.tcp_fallback:
                 # Truncated: the answer didn't fit the UDP payload budget;
@@ -573,6 +685,7 @@ class Do53Probe:
             finish_with(message, len(dgram.payload), via_tcp=False)
 
         socket.on_datagram = on_datagram
+        clock.enter("dns_exchange")
 
         def attempt(remaining: int) -> None:
             if shot.done:
@@ -620,12 +733,14 @@ class DoqProbe:
         server_name: str,
         config: Optional[DoqProbeConfig] = None,
         rng: Optional[random.Random] = None,
+        recorder: Optional[SpanRecorder] = None,
     ) -> None:
         self.host = host
         self.service_ip = service_ip
         self.server_name = server_name
         self.config = config or DoqProbeConfig()
         self.rng = rng if rng is not None else random.Random(0)
+        self.recorder = recorder
         self._live_conn = None
 
     @property
@@ -633,10 +748,26 @@ class DoqProbe:
         assert self.host.network is not None
         return self.host.network.loop
 
-    def query(self, domain: str, on_complete: OutcomeCallback, qtype: int = TYPE_A) -> None:
+    def query(
+        self,
+        domain: str,
+        on_complete: OutcomeCallback,
+        qtype: int = TYPE_A,
+        span_parent: Optional[int] = None,
+    ) -> None:
         from repro.quicsim.connection import QuicClientConnection, QuicConfig
 
-        shot = _OneShot(self._loop, self.config.timeout_ms, on_complete)
+        clock = PhaseClock(
+            self._loop,
+            self.recorder if self.recorder is not None else get_recorder(),
+            parent_id=span_parent,
+            transport="doq",
+            server=self.server_name,
+            domain=domain,
+        )
+        shot = _OneShot(
+            self._loop, self.config.timeout_ms, _finalize_phases(clock, on_complete)
+        )
         # RFC 9250 recommends msg_id = 0 on DoQ, like DoH.
         query = make_query(domain, qtype, msg_id=0, rng=self.rng)
         framed = _LengthPrefixedStream.frame(query.to_wire())
@@ -644,6 +775,7 @@ class DoqProbe:
         def on_response_bytes(data: bytes) -> None:
             if shot.done:
                 return
+            clock.enter("dns_parse")
             messages = _LengthPrefixedStream().feed(data)
             if not messages:
                 shot.fail(ProbeTimeout("empty DoQ response stream"))
@@ -670,6 +802,7 @@ class DoqProbe:
 
         conn = self._live_conn if self.config.reuse_connections else None
         if conn is not None and not conn.closed:
+            clock.enter("dns_exchange")
             conn.open_stream(framed, on_response_bytes)
             return
 
@@ -678,9 +811,15 @@ class DoqProbe:
             enable_early_data=self.config.enable_early_data,
             connect_timeout_ms=max(1.0, self.config.timeout_ms - 1.0),
         )
+
+        def on_quic_established(_conn) -> None:
+            clock.enter("dns_exchange")
+
+        clock.enter("quic_handshake")
         conn = QuicClientConnection(
             self.host, self.service_ip, 853, self.server_name,
             config=quic_config, on_error=shot.fail,
+            on_established=on_quic_established,
         )
         if self.config.reuse_connections:
             self._live_conn = conn

@@ -45,6 +45,18 @@ class MeasurementRecord:
     #: Which attempt produced this outcome (1 = first try); > 1 means the
     #: campaign's retry policy re-issued the query after failures.
     attempts: int = 1
+    #: Phase timings (ms) splitting ``duration_ms`` into its protocol
+    #: stages: TCP connect, TLS (or QUIC) handshake, and the query
+    #: exchange (HTTP/DNS exchange + response parse).  ``None`` when the
+    #: phase did not occur (connection reuse, UDP transport) or never
+    #: completed.  For successful records the present phases sum to
+    #: ``duration_ms``.
+    connect_ms: Optional[float] = None
+    tls_ms: Optional[float] = None
+    query_ms: Optional[float] = None
+    #: The phase that was in flight when a failed probe gave up
+    #: (``None`` for successes), attributing each error to a span.
+    failed_phase: Optional[str] = None
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), separators=(",", ":"), sort_keys=True)

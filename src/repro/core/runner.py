@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Sequence
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
 
 from repro.core.errors_taxonomy import CONNECTION_ESTABLISHMENT_CLASSES, ErrorClass
 from repro.core.probes import DohProbe, DohProbeConfig, PingProbe, ProbeOutcome
@@ -26,6 +26,7 @@ from repro.core.scheduler import PeriodicSchedule
 from repro.core.vantage import VantagePoint
 from repro.errors import CampaignConfigError
 from repro.netsim.network import Network
+from repro.obs import MetricsRegistry, SpanRecorder, get_metrics, get_recorder
 
 #: Error classes a retry can plausibly help with: transient network and
 #: connection-establishment conditions.  Protocol-level failures (bad
@@ -98,6 +99,29 @@ class ResolverTarget:
             raise CampaignConfigError("target needs hostname and service_ip")
 
 
+@dataclass(frozen=True)
+class RoundProgress:
+    """Snapshot handed to ``on_round_complete`` when a round finishes.
+
+    "Finishes" means every (vantage, target) measurement set of that round
+    has recorded its final outcomes — retries and pings included — which
+    may be after later rounds have already started probing.
+    """
+
+    round_index: int
+    completed_at_ms: float
+    records_total: int
+    errors_total: int
+    measurements: int
+
+    def describe(self) -> str:
+        return (
+            f"progress round={self.round_index} t_ms={self.completed_at_ms:.1f} "
+            f"measurements={self.measurements} records={self.records_total} "
+            f"errors={self.errors_total}"
+        )
+
+
 @dataclass
 class CampaignConfig:
     """Parameters of one measurement campaign.
@@ -135,6 +159,9 @@ class Campaign:
         targets: Sequence[ResolverTarget],
         config: CampaignConfig,
         store: Optional[ResultStore] = None,
+        recorder: Optional[SpanRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        on_round_complete: Optional[Callable[[RoundProgress], None]] = None,
     ) -> None:
         if not vantages:
             raise CampaignConfigError("campaign needs at least one vantage point")
@@ -145,19 +172,50 @@ class Campaign:
         self.targets = list(targets)
         self.config = config
         self.store = store if store is not None else ResultStore()
-        self._outstanding = 0
+        self.on_round_complete = on_round_complete
+        # Explicit recorder/metrics win; otherwise the ambient ones are
+        # picked up at run() time (so ``with tracing():`` wraps run()).
+        self._recorder = recorder
+        self._metrics = metrics
+        self._active_recorder: SpanRecorder = get_recorder()
+        self._active_metrics: MetricsRegistry = get_metrics()
+        self._campaign_span = 0
+        self._round_spans: Dict[int, int] = {}
+        self._round_outstanding: Dict[int, int] = {}
+        self._errors_total = 0
 
     # -- execution -------------------------------------------------------------
 
     def run(self) -> ResultStore:
         """Schedule all rounds and drive the event loop to completion."""
+        loop = self.network.loop
+        recorder = self._recorder if self._recorder is not None else get_recorder()
+        metrics = self._metrics if self._metrics is not None else get_metrics()
+        self._active_recorder = recorder
+        self._active_metrics = metrics
+        if recorder.enabled:
+            self._campaign_span = recorder.begin(
+                "campaign",
+                loop.now,
+                campaign=self.config.name,
+                transport=self.config.transport,
+                vantages=len(self.vantages),
+                targets=len(self.targets),
+            )
+        per_round = len(self.vantages) * len(self.targets)
         for round_index, round_start in enumerate(self.config.schedule.round_starts()):
+            start = max(round_start, loop.now)
+            self._round_outstanding[round_index] = per_round
+            if recorder.enabled:
+                self._round_spans[round_index] = recorder.begin(
+                    "round", start, parent_id=self._campaign_span, round=round_index
+                )
             for vantage in self.vantages:
                 for target in self.targets:
                     rng = self._rng_for(round_index, vantage, target)
                     offset = self.config.schedule.probe_offset(rng)
-                    self.network.loop.call_at(
-                        max(round_start + offset, self.network.loop.now),
+                    loop.call_at(
+                        max(round_start + offset, loop.now),
                         self._measure_target,
                         round_index,
                         vantage,
@@ -165,6 +223,10 @@ class Campaign:
                         rng,
                     )
         self.network.run()
+        if recorder.enabled and self._campaign_span:
+            recorder.end(self._campaign_span, loop.now, records=len(self.store))
+        if metrics.enabled:
+            metrics.set_gauge("campaign.records", len(self.store))
         return self.store
 
     def _rng_for(
@@ -182,6 +244,7 @@ class Campaign:
         self, vantage: VantagePoint, target: ResolverTarget, rng: random.Random
     ):
         """Instantiate the probe matching the campaign's transport."""
+        recorder = self._active_recorder
         if self.config.transport == "doh":
             return DohProbe(
                 host=vantage.host,
@@ -189,6 +252,7 @@ class Campaign:
                 server_name=target.hostname,
                 config=self._probe_config_for(target),
                 rng=rng,
+                recorder=recorder,
             )
         if self.config.transport == "dot":
             from repro.core.probes import DotProbe, DotProbeConfig
@@ -205,6 +269,7 @@ class Campaign:
                     session_cache=base.session_cache,
                 ),
                 rng=rng,
+                recorder=recorder,
             )
         if self.config.transport == "doq":
             from repro.core.probes import DoqProbe, DoqProbeConfig
@@ -220,6 +285,7 @@ class Campaign:
                     session_cache=base.session_cache,
                 ),
                 rng=rng,
+                recorder=recorder,
             )
         from repro.core.probes import Do53Probe, Do53ProbeConfig
 
@@ -228,6 +294,7 @@ class Campaign:
             service_ip=target.service_ip,
             config=Do53ProbeConfig(timeout_ms=self.config.probe_config.timeout_ms),
             rng=rng,
+            recorder=recorder,
         )
 
     def _measure_target(
@@ -237,18 +304,40 @@ class Campaign:
         target: ResolverTarget,
         rng: random.Random,
     ) -> None:
+        loop = self.network.loop
+        recorder = self._active_recorder
+        metrics = self._active_metrics
+        measurement_span = 0
+        if recorder.enabled:
+            measurement_span = recorder.begin(
+                "measurement",
+                loop.now,
+                parent_id=self._round_spans.get(round_index) or None,
+                vantage=vantage.name,
+                resolver=target.hostname,
+                round=round_index,
+            )
         probe = self._make_probe(vantage, target, rng)
         domains = list(self.config.domains)
         policy = self.config.retry
+        pending = {"parts": 1 + (1 if self.config.ping else 0)}
+
+        def part_done() -> None:
+            pending["parts"] -= 1
+            if pending["parts"] == 0:
+                if recorder.enabled and measurement_span:
+                    recorder.end(measurement_span, loop.now)
+                self._round_done(round_index)
 
         def query_next(index: int) -> None:
             if index >= len(domains):
                 probe.close()
+                part_done()
                 return
             domain = domains[index]
 
             def attempt(number: int) -> None:
-                started = self.network.loop.now
+                started = loop.now
 
                 def on_outcome(outcome: ProbeOutcome) -> None:
                     if policy.should_retry(outcome, number):
@@ -257,7 +346,11 @@ class Campaign:
                                 round_index, vantage, target, domain, started,
                                 outcome, attempts=number, kind="dns_query_attempt",
                             )
-                        self.network.loop.call_later(
+                        if metrics.enabled:
+                            metrics.inc(
+                                "campaign.retries", transport=self.config.transport
+                            )
+                        loop.call_later(
                             policy.backoff_ms(number, rng), attempt, number + 1
                         )
                         return
@@ -267,17 +360,28 @@ class Campaign:
                     )
                     query_next(index + 1)
 
-                probe.query(domain, on_outcome)
+                probe.query(domain, on_outcome, span_parent=measurement_span)
 
             attempt(1)
 
         query_next(0)
 
         if self.config.ping:
-            started = self.network.loop.now
+            started = loop.now
 
             def on_ping(outcome: ProbeOutcome) -> None:
                 self._record_ping(round_index, vantage, target, started, outcome)
+                if recorder.enabled:
+                    recorder.emit(
+                        "probe",
+                        started,
+                        loop.now,
+                        parent_id=measurement_span or None,
+                        status="ok" if outcome.success else "error",
+                        transport="icmp",
+                        server=target.hostname,
+                    )
+                part_done()
 
             PingProbe(vantage.host, target.service_ip).send(on_ping)
 
@@ -317,7 +421,7 @@ class Campaign:
                 domain=domain,
                 round_index=round_index,
                 started_at_ms=started_at,
-                duration_ms=outcome.duration_ms if outcome.success else outcome.duration_ms,
+                duration_ms=outcome.duration_ms,
                 success=outcome.success,
                 error_class=outcome.error_class.value if outcome.error_class else None,
                 rcode=outcome.rcode,
@@ -327,8 +431,30 @@ class Campaign:
                 response_size=outcome.response_size,
                 connection_reused=outcome.connection_reused,
                 attempts=attempts,
+                connect_ms=outcome.connect_ms,
+                tls_ms=outcome.tls_ms,
+                query_ms=outcome.query_ms,
+                failed_phase=outcome.failed_phase,
             )
         )
+        if kind == "dns_query" and not outcome.success:
+            self._errors_total += 1
+        metrics = self._active_metrics
+        if metrics.enabled:
+            metrics.inc("campaign.queries", transport=self.config.transport, kind=kind)
+            if outcome.success:
+                if outcome.duration_ms is not None:
+                    metrics.observe(
+                        "campaign.query_ms",
+                        outcome.duration_ms,
+                        transport=self.config.transport,
+                    )
+            elif outcome.error_class is not None:
+                metrics.inc(
+                    "campaign.query_errors",
+                    error_class=outcome.error_class.value,
+                    transport=self.config.transport,
+                )
 
     def _record_ping(
         self,
@@ -353,3 +479,38 @@ class Campaign:
                 error_class=outcome.error_class.value if outcome.error_class else None,
             )
         )
+        if not outcome.success:
+            self._errors_total += 1
+        metrics = self._active_metrics
+        if metrics.enabled:
+            metrics.inc("campaign.pings", success=outcome.success)
+            if outcome.success and outcome.duration_ms is not None:
+                metrics.observe("campaign.ping_ms", outcome.duration_ms)
+
+    # -- round completion -----------------------------------------------------------
+
+    def _round_done(self, round_index: int) -> None:
+        """One (vantage, target) measurement set of ``round_index`` finished."""
+        self._round_outstanding[round_index] -= 1
+        if self._round_outstanding[round_index] > 0:
+            return
+        now = self.network.loop.now
+        recorder = self._active_recorder
+        span_id = self._round_spans.get(round_index)
+        if recorder.enabled and span_id:
+            recorder.end(span_id, now, records=len(self.store))
+        metrics = self._active_metrics
+        if metrics.enabled:
+            metrics.inc("campaign.rounds_completed")
+            metrics.set_gauge("campaign.records", len(self.store))
+            metrics.set_gauge("campaign.errors", self._errors_total)
+        if self.on_round_complete is not None:
+            self.on_round_complete(
+                RoundProgress(
+                    round_index=round_index,
+                    completed_at_ms=now,
+                    records_total=len(self.store),
+                    errors_total=self._errors_total,
+                    measurements=len(self.vantages) * len(self.targets),
+                )
+            )

@@ -20,6 +20,7 @@ from urllib.parse import parse_qs, quote, urlsplit
 
 from repro.errors import HttpError
 from repro.httpsim.h1 import HttpRequest, HttpResponse
+from repro.obs import get_metrics
 
 CONTENT_TYPE_DNS = "application/dns-message"
 
@@ -50,6 +51,10 @@ def encode_doh_request(
     accept_header: bool = True,
 ) -> HttpRequest:
     """Build the HTTP request carrying a DNS query."""
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("doh.requests", method=method)
+        metrics.observe("doh.query_bytes", len(dns_wire))
     headers = {}
     if accept_header:
         headers["Accept"] = CONTENT_TYPE_DNS
@@ -113,15 +118,24 @@ def encode_doh_error(status: int, detail: str = "") -> HttpResponse:
 
 def decode_doh_response(response: HttpResponse) -> bytes:
     """Extract the DNS answer wire bytes from an HTTP response."""
+    metrics = get_metrics()
     if response.status != 200:
+        if metrics.enabled:
+            metrics.inc("doh.codec_errors", reason="http_status")
         exc = DohCodecError(f"HTTP {response.status}")
         exc.status_hint = response.status  # type: ignore[attr-defined]
         raise exc
     content_type = response.header("Content-Type", "")
     if content_type != CONTENT_TYPE_DNS:
+        if metrics.enabled:
+            metrics.inc("doh.codec_errors", reason="content_type")
         raise DohCodecError(f"unexpected response content type {content_type!r}")
     if not response.body:
+        if metrics.enabled:
+            metrics.inc("doh.codec_errors", reason="empty_body")
         raise DohCodecError("empty DoH response body")
+    if metrics.enabled:
+        metrics.observe("doh.response_bytes", len(response.body))
     return response.body
 
 

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import HttpProtocolError
+from repro.obs import get_metrics
 
 CRLF = b"\r\n"
 
@@ -64,6 +65,9 @@ class HttpResponse:
 
 def encode_request(request: HttpRequest, host: str) -> bytes:
     """Serialize a request (adds Host and Content-Length automatically)."""
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("h1.requests", method=request.method)
     lines = [f"{request.method} {request.path} HTTP/1.1".encode("ascii")]
     headers = dict(request.headers)
     headers.setdefault("Host", host)
@@ -156,6 +160,8 @@ class H1ResponseParser(_H1Parser):
                 status = int(parts[1])
             except ValueError:
                 raise HttpProtocolError(f"bad status code in {start_line!r}")
+            if get_metrics().enabled:
+                get_metrics().inc("h1.responses", status=status)
             reason = parts[2] if len(parts) == 3 else ""
             responses.append(HttpResponse(status=status, headers=headers, body=body, reason=reason))
         return responses

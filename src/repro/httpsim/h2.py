@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import HttpProtocolError
 from repro.httpsim.h1 import HttpRequest, HttpResponse
+from repro.obs import get_metrics
 
 FRAME_DATA = 0x0
 FRAME_HEADERS = 0x1
@@ -124,6 +125,9 @@ class H2ClientSession:
         """Send a request on a new stream; returns the stream id."""
         if self.goaway_received:
             raise HttpProtocolError("connection is shutting down (GOAWAY)")
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("h2.requests", method=request.method)
         stream_id = self._next_stream_id
         self._next_stream_id += 2
         headers = {
@@ -153,12 +157,16 @@ class H2ClientSession:
                 continue
             if frame_type == FRAME_GOAWAY:
                 self.goaway_received = True
+                if get_metrics().enabled:
+                    get_metrics().inc("h2.goaway_received")
                 if self.on_goaway is not None:
                     self.on_goaway()
                 continue
             if frame_type == FRAME_RST_STREAM:
                 self._streams.pop(stream_id, None)
                 self._callbacks.pop(stream_id, None)
+                if get_metrics().enabled:
+                    get_metrics().inc("h2.rst_streams")
                 continue
             stream = self._streams.setdefault(stream_id, _Stream(stream_id))
             if frame_type == FRAME_HEADERS:
@@ -180,6 +188,9 @@ class H2ClientSession:
         except ValueError:
             raise HttpProtocolError(f"missing/bad :status {status_text!r}")
         plain_headers = {k: v for k, v in stream.headers.items() if not k.startswith(":")}
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("h2.responses", status=status)
         callback(HttpResponse(status=status, headers=plain_headers, body=bytes(stream.body)))
 
     @property

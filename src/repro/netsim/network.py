@@ -22,8 +22,13 @@ from repro.netsim.host import Host
 from repro.netsim.latency import LatencyModel, PathCharacteristics
 from repro.netsim.packet import Datagram, Segment
 from repro.netsim.trace import EventTrace
+from repro.obs import get_metrics
 
 Packet = Union[Datagram, Segment]
+
+
+def _packet_protocol(packet: Packet) -> str:
+    return "tcp" if isinstance(packet, Segment) else packet.protocol
 
 
 class Network:
@@ -147,11 +152,14 @@ class Network:
         from a measurement client's perspective a dead resolver and a
         blackholed path are indistinguishable (both end in a timeout).
         """
+        metrics = get_metrics()
         try:
             dst = self.resolve_destination(src, packet.dst_ip)
         except RoutingError:
             if self.trace is not None:
                 self.trace.record(self.loop.now, "unroutable", packet)
+            if metrics.enabled:
+                metrics.inc("net.packets_unroutable", protocol=_packet_protocol(packet))
             if on_lost is not None:
                 on_lost(packet)
             return False
@@ -159,7 +167,10 @@ class Network:
         # Transient impairments (fault windows) stack on top of the path's
         # steady-state characteristics at both endpoints.
         extra_delay = 0.0
-        if src.impairments.any_active or dst.impairments.any_active:
+        impaired = src.impairments.any_active or dst.impairments.any_active
+        if impaired:
+            if metrics.enabled:
+                metrics.inc("net.fault_hits", protocol=_packet_protocol(packet))
             loss_rate = LatencyModel.combined_loss_rate(
                 path.loss_rate,
                 src.impairments.extra_loss_rate,
@@ -172,18 +183,30 @@ class Network:
         if lost:
             if self.trace is not None:
                 self.trace.record(self.loop.now, "lost", packet)
+            if metrics.enabled:
+                metrics.inc(
+                    "net.packets_lost",
+                    protocol=_packet_protocol(packet),
+                    impaired=impaired,
+                )
             if on_lost is not None:
                 on_lost(packet)
             return False
         delay = LatencyModel.sample_one_way_ms(path, self.rng) + extra_delay
         if self.trace is not None:
             self.trace.record(self.loop.now, "sent", packet, delay_ms=delay)
+        if metrics.enabled:
+            metrics.inc("net.packets_sent", protocol=_packet_protocol(packet))
+            metrics.inc("net.bytes_sent", packet.size, protocol=_packet_protocol(packet))
         self.loop.call_later(delay, self._deliver, dst, packet)
         return True
 
     def _deliver(self, dst: Host, packet: Packet) -> None:
         if self.trace is not None:
             self.trace.record(self.loop.now, "delivered", packet)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("net.packets_delivered", protocol=_packet_protocol(packet))
         if isinstance(packet, Segment):
             dst.deliver_segment(packet)
         else:

@@ -8,8 +8,9 @@ crosses the wire exactly N times") and handy when debugging new protocols.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Union
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.netsim.packet import Datagram, Segment
 
@@ -40,6 +41,10 @@ class TraceEvent:
             f"{self.src_ip}:{self.src_port} -> {self.dst_ip}:{self.dst_port} "
             f"({self.size}B)"
         )
+
+    def to_json(self) -> str:
+        """Compact JSON line (same convention as obs span export)."""
+        return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
 
 
 @dataclass
@@ -95,6 +100,31 @@ class EventTrace:
     def sent_count(self, protocol: Optional[str] = None) -> int:
         return len(self.filter(kind="sent", protocol=protocol))
 
+    def by_protocol(self, kind: Optional[str] = None) -> Dict[str, int]:
+        """Event counts keyed by protocol, optionally for one kind only."""
+        counts: Dict[str, int] = {}
+        for event in self.filter(kind=kind):
+            counts[event.protocol] = counts.get(event.protocol, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def between_ms(self, start_ms: float, end_ms: float) -> List[TraceEvent]:
+        """Events with ``start_ms <= time_ms < end_ms`` (half-open window).
+
+        The half-open convention lets adjacent windows partition a trace
+        without double-counting events on the boundary — the same contract
+        as span ``[start_ms, end_ms)`` intervals in :mod:`repro.obs`.
+        """
+        return [e for e in self.events if start_ms <= e.time_ms < end_ms]
+
     def describe(self) -> str:
         """Multi-line rendering of the whole trace."""
         return "\n".join(event.describe() for event in self.events)
+
+    def to_jsonl(self) -> str:
+        """The whole trace as JSON lines — one event per line."""
+        return "\n".join(event.to_json() for event in self.events) + ("\n" if self.events else "")
+
+    def save_jsonl(self, path: str) -> None:
+        """Write the trace to ``path`` in the shared JSONL event format."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())

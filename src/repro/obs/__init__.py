@@ -1,0 +1,114 @@
+"""Observability: span tracing and metrics for the measurement stack.
+
+Two module-level singletons hold the *ambient* instrumentation targets:
+
+* the **span recorder** (default: :data:`~repro.obs.spans.NULL_RECORDER`,
+  a no-op) — campaign runners and probes also accept an explicit recorder,
+  which takes precedence over the ambient one;
+* the **metrics registry** (default: disabled) — protocol layers
+  (:mod:`repro.netsim.network`, :mod:`repro.tlssim.handshake`,
+  :mod:`repro.httpsim`, :mod:`repro.quicsim.connection`) report counters
+  and histograms here.
+
+Use :func:`tracing` to enable both for a scoped block::
+
+    with tracing() as (recorder, metrics):
+        Campaign(...).run()
+    recorder.save_jsonl("spans.jsonl")
+    print(metrics.summary())
+
+Everything is driven by the simulator's virtual clock, so enabling
+tracing never perturbs timing, scheduling or RNG draws: a traced run and
+an untraced run of the same seed produce identical measurements, and two
+traced runs produce byte-identical span exports.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Tuple
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import (
+    NULL_RECORDER,
+    PhaseClock,
+    Span,
+    SpanCollector,
+    SpanRecorder,
+)
+
+_recorder: SpanRecorder = NULL_RECORDER
+_metrics: MetricsRegistry = MetricsRegistry(enabled=False)
+
+
+def get_recorder() -> SpanRecorder:
+    """The ambient span recorder (no-op unless tracing is installed)."""
+    return _recorder
+
+
+def set_recorder(recorder: Optional[SpanRecorder]) -> SpanRecorder:
+    """Install ``recorder`` as the ambient recorder; returns the previous one."""
+    global _recorder
+    previous = _recorder
+    _recorder = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+def get_metrics() -> MetricsRegistry:
+    """The ambient metrics registry (disabled unless installed)."""
+    return _metrics
+
+
+def set_metrics(metrics: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """Install ``metrics`` as the ambient registry; returns the previous one."""
+    global _metrics
+    previous = _metrics
+    _metrics = metrics if metrics is not None else MetricsRegistry(enabled=False)
+    return previous
+
+
+@contextmanager
+def tracing(
+    recorder: Optional[SpanRecorder] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> Iterator[Tuple[SpanRecorder, MetricsRegistry]]:
+    """Install a recorder and registry for the duration of the block.
+
+    Defaults to a fresh :class:`SpanCollector` and an enabled
+    :class:`MetricsRegistry`; both are restored to their previous values
+    on exit and yielded so callers can export what was collected.
+    """
+    active_recorder = recorder if recorder is not None else SpanCollector()
+    active_metrics = metrics if metrics is not None else MetricsRegistry(enabled=True)
+    previous_recorder = set_recorder(active_recorder)
+    previous_metrics = set_metrics(active_metrics)
+    try:
+        yield active_recorder, active_metrics
+    finally:
+        set_recorder(previous_recorder)
+        set_metrics(previous_metrics)
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "PhaseClock",
+    "Span",
+    "SpanCollector",
+    "SpanRecorder",
+    "get_metrics",
+    "get_recorder",
+    "set_metrics",
+    "set_recorder",
+    "tracing",
+]

@@ -1,0 +1,252 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+Every layer of the stack reports into one :class:`MetricsRegistry` —
+packet counts from :mod:`repro.netsim.network`, handshake counts and
+sizes from :mod:`repro.tlssim.handshake`, frame and codec counters from
+:mod:`repro.httpsim`, retransmissions from :mod:`repro.quicsim`, and
+query/error/retry counts from the campaign runner.
+
+A registry created with ``enabled=False`` (the module default — see
+:func:`repro.obs.get_metrics`) turns every operation into a constant-time
+no-op; hot paths additionally guard on :attr:`MetricsRegistry.enabled`
+before building label dicts.
+
+Histograms use fixed millisecond buckets, so p50/p95/p99 estimates are
+deterministic, mergeable and cheap: one increment per observation, a
+linear interpolation inside the owning bucket per quantile query.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+#: Default latency-shaped bucket upper bounds (ms).  The last implicit
+#: bucket is +inf.
+DEFAULT_BUCKETS = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 350.0,
+    500.0, 750.0, 1000.0, 2000.0, 5000.0, 10000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with quantile estimation."""
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated q-quantile via linear interpolation inside the bucket.
+
+        The overflow bucket reports the observed maximum (there is no
+        upper bound to interpolate toward).
+        """
+        if not self.count:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                if index >= len(self.bounds):
+                    return self.max
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                fraction = (target - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return self.max
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> Optional[float]:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.quantile(0.99)
+
+
+def _key(name: str, labels: Dict[str, Any]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with optional labels."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- writing ----------------------------------------------------------
+
+    def inc(self, name: str, n: float = 1.0, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter()
+        counter.inc(n)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = Gauge()
+        gauge.set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> None:
+        if not self.enabled:
+            return
+        key = _key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(bounds)
+        histogram.observe(value)
+
+    # -- reading ----------------------------------------------------------
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Current value of a counter (0 if never incremented)."""
+        counter = self._counters.get(_key(name, labels))
+        return counter.value if counter is not None else 0.0
+
+    def gauge_value(self, name: str, **labels: Any) -> Optional[float]:
+        gauge = self._gauges.get(_key(name, labels))
+        return gauge.value if gauge is not None else None
+
+    def histogram(self, name: str, **labels: Any) -> Optional[Histogram]:
+        return self._histograms.get(_key(name, labels))
+
+    def counters_matching(self, prefix: str) -> Dict[str, float]:
+        """All counters whose key starts with ``prefix``."""
+        return {
+            key: counter.value
+            for key, counter in self._counters.items()
+            if key.startswith(prefix)
+        }
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- export -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly dump of every metric (sorted keys)."""
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {
+                k: {
+                    "count": h.count,
+                    "mean": h.mean,
+                    "min": h.min,
+                    "max": h.max,
+                    "p50": h.p50,
+                    "p95": h.p95,
+                    "p99": h.p99,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def save_json(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.snapshot(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary of all metrics."""
+        lines: List[str] = []
+        if self._counters:
+            lines.append("== counters ==")
+            for key in sorted(self._counters):
+                lines.append(f"{key:<60} {self._counters[key].value:>12g}")
+        if self._gauges:
+            lines.append("== gauges ==")
+            for key in sorted(self._gauges):
+                lines.append(f"{key:<60} {self._gauges[key].value:>12g}")
+        if self._histograms:
+            lines.append("== histograms ==")
+            for key in sorted(self._histograms):
+                h = self._histograms[key]
+                if not h.count:
+                    continue
+                lines.append(
+                    f"{key:<48} n={h.count:<8} mean={h.mean:>9.2f} "
+                    f"p50={h.p50:>9.2f} p95={h.p95:>9.2f} p99={h.p99:>9.2f} "
+                    f"max={h.max:>9.2f}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

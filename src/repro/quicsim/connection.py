@@ -28,6 +28,7 @@ from repro.errors import ConnectTimeout, SocketError
 from repro.netsim.host import Host
 from repro.netsim.packet import Datagram
 from repro.netsim.sockets import SimUdpSocket
+from repro.obs import get_metrics
 from repro.quicsim.packets import (
     INITIAL_MIN_BYTES,
     KIND_HANDSHAKE,
@@ -136,10 +137,14 @@ class _QuicEndpoint:
         def on_lost(_packet) -> None:
             if self.closed or attempts_left <= 1:
                 return
+            if get_metrics().enabled:
+                get_metrics().inc("quic.retransmits")
             self._loop.call_later(
                 pto_ms, self._send_datagram, wire, attempts_left - 1, pto_ms * 2.0
             )
 
+        if get_metrics().enabled:
+            get_metrics().inc("quic.datagrams_sent")
         self._network.transmit(self.host, dgram, on_lost=on_lost)
 
 
@@ -225,6 +230,13 @@ class QuicClientConnection(_QuicEndpoint):
         if self.established:
             return
         self.established = True
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc(
+                "quic.handshakes",
+                resumed=self.resumed,
+                early_data=self.used_early_data,
+            )
         callback = self._on_established
         self._on_established = None
         if callback is not None:

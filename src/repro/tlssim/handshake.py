@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import TlsHandshakeError
 from repro.netsim.sockets import SimTcpConnection
+from repro.obs import get_metrics
 from repro.tlssim.record import (
     CONTENT_ALERT,
     CONTENT_APPLICATION_DATA,
@@ -179,6 +180,9 @@ class _TlsEndpoint:
             pass
 
     def _fail(self, exc: Exception) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("tls.failures", reason=type(exc).__name__)
         callback = self.on_error
         self.on_error = None
         self.tcp.close()
@@ -283,6 +287,17 @@ class TlsClientConnection(_TlsEndpoint):
             return
         self.established = True
         self.handshake_completed_at = self.loop.now
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc(
+                "tls.handshakes",
+                version=self.negotiated_version or "0rtt-pending",
+                resumed=self.resumed,
+            )
+            metrics.inc("tls.handshake_bytes", self.handshake_bytes)
+            duration = self.handshake_duration_ms
+            if duration is not None:
+                metrics.observe("tls.handshake_ms", duration)
         callback = self._on_established
         self._on_established = None
         if callback is not None:
