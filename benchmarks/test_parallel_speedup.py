@@ -1,0 +1,101 @@
+"""PARALLEL — wall-clock speedup of the sharded executor.
+
+Runs the full 91-resolver EC2 campaign twice over the same shard plan —
+``workers=1`` (the serial reference) and ``workers=4`` — verifies the
+merged artifacts are byte-identical, and records both wall-clocks plus
+the speedup in ``BENCH_parallel.json`` at the repo root (CI uploads it).
+
+The >= 2x speedup assertion only applies when the machine can actually
+run workers side by side: it is gated on >= 4 usable cores and on the
+process pool having been used (a sandbox that forces the sequential
+fallback measures nothing).  The gate floor is tunable via
+``REPRO_BENCH_MIN_SPEEDUP`` for slower CI runners.
+
+Timing uses ``time.perf_counter`` directly so this file runs under a
+plain pytest install.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks.conftest import print_artifact
+from repro.catalog.resolvers import CATALOG
+from repro.experiments.campaigns import (
+    EC2_VANTAGE_NAMES,
+    ec2_campaign_config,
+    run_campaign_parallel,
+)
+from repro.parallel import default_worker_count
+
+BENCH_ROUNDS = 6
+BENCH_WORKERS = 4
+BENCH_SHARDS = 8
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+#: Speedup floor enforced when the machine has enough cores.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+
+
+def _run(workers: int):
+    return run_campaign_parallel(
+        ec2_campaign_config(rounds=BENCH_ROUNDS),
+        EC2_VANTAGE_NAMES,
+        [entry.hostname for entry in CATALOG],
+        world_seed=0,
+        workers=workers,
+        shard_by="resolver",
+        shards=BENCH_SHARDS,
+    )
+
+
+def test_parallel_speedup_full_ec2_campaign():
+    serial = _run(1)
+    sharded = _run(BENCH_WORKERS)
+
+    # The benchmark is only meaningful because the outputs agree.
+    assert serial.store.to_jsonl() == sharded.store.to_jsonl()
+
+    cores = default_worker_count()
+    speedup = serial.wall_seconds / max(sharded.wall_seconds, 1e-9)
+    enforced = cores >= BENCH_WORKERS and sharded.pool_used
+    report = {
+        "campaign": "ec2-global",
+        "resolvers": len(CATALOG),
+        "rounds": BENCH_ROUNDS,
+        "shards": len(serial.shard_results),
+        "workers": BENCH_WORKERS,
+        "cores_available": cores,
+        "pool_used": sharded.pool_used,
+        "fallback_reason": sharded.fallback_reason,
+        "serial_wall_seconds": round(serial.wall_seconds, 3),
+        "parallel_wall_seconds": round(sharded.wall_seconds, 3),
+        "speedup": round(speedup, 3),
+        "min_speedup_enforced": MIN_SPEEDUP if enforced else None,
+        "records": len(serial.store),
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    print_artifact(
+        "Parallel speedup (full EC2 campaign)",
+        "\n".join(
+            [
+                f"shards:   {report['shards']} (by resolver cohort)",
+                f"serial:   {report['serial_wall_seconds']:.2f}s (workers=1)",
+                f"pooled:   {report['parallel_wall_seconds']:.2f}s "
+                f"(workers={BENCH_WORKERS}, pool_used={sharded.pool_used})",
+                f"speedup:  {speedup:.2f}x on {cores} cores"
+                + ("" if enforced else "  [not enforced on this machine]"),
+                f"report:   {BENCH_PATH.name}",
+            ]
+        ),
+    )
+
+    if enforced:
+        assert speedup >= MIN_SPEEDUP, (
+            f"sharded run only {speedup:.2f}x faster "
+            f"(serial {serial.wall_seconds:.2f}s vs "
+            f"pooled {sharded.wall_seconds:.2f}s on {cores} cores)"
+        )

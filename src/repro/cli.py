@@ -58,6 +58,9 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     from repro.experiments.world import build_world
     from repro.obs import MetricsRegistry, SpanCollector
 
+    if args.workers is not None:
+        return _measure_parallel(args)
+
     world = build_world(seed=args.seed)
     vantages = [world.vantage(name) for name in args.vantage]
     schedule = PeriodicSchedule(
@@ -118,6 +121,89 @@ def _cmd_measure(args: argparse.Namespace) -> int:
 
         availability = availability_report(store)
         print(availability.describe())
+    return 0
+
+
+def _measure_parallel(args: argparse.Namespace) -> int:
+    """``measure --workers N``: the sharded execution path.
+
+    Both ``--workers 1`` and ``--workers 4`` run the same shard plan
+    through :func:`repro.parallel.run_parallel`, so the written artifacts
+    are byte-identical across worker counts for the same seed.
+    """
+    from repro.analysis.export import export_parallel_run
+    from repro.core.runner import RetryPolicy
+    from repro.experiments.campaigns import _catalog_hostnames, run_campaign_parallel
+    from repro.parallel import SHARD_STRATEGIES
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1 (got {args.workers})", file=sys.stderr)
+        return 2
+    if args.shard_by not in SHARD_STRATEGIES:
+        print(
+            f"--shard-by must be one of {sorted(SHARD_STRATEGIES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    schedule = PeriodicSchedule(
+        rounds=args.rounds, interval_ms=args.interval_hours * MS_PER_HOUR
+    )
+    config = CampaignConfig(
+        name=args.name,
+        schedule=schedule,
+        probe_config=DohProbeConfig(method=args.method),
+        retry=RetryPolicy(attempts=args.attempts),
+        seed=args.seed,
+    )
+    hostnames = _catalog_hostnames(args.resolver or None)
+
+    fault_plan = None
+    if args.faults:
+        from repro.faults import FaultPlan, FaultPlanConfig
+
+        fault_plan = FaultPlan.generate(
+            hostnames,
+            horizon_ms=schedule.total_span_ms + schedule.interval_ms,
+            seed=args.fault_seed,
+            config=FaultPlanConfig(impaired_time_fraction=args.fault_fraction),
+        )
+        print(f"armed fault plan: {fault_plan.describe()}")
+
+    run = run_campaign_parallel(
+        config,
+        args.vantage,
+        hostnames,
+        world_seed=args.seed,
+        workers=args.workers,
+        shard_by=args.shard_by,
+        shards=args.shards,
+        fault_plan=fault_plan,
+        collect_spans=bool(args.trace),
+        collect_metrics=bool(args.metrics),
+    )
+    print(run.describe())
+    if args.progress:
+        for result in run.shard_results:
+            print(
+                f"  shard {result.shard_index} [{result.shard_key}]: "
+                f"{len(result.records)} records, {result.wall_seconds:.2f}s"
+            )
+    written = export_parallel_run(
+        run,
+        args.output,
+        spans_path=args.trace or None,
+        metrics_path=args.metrics or None,
+    )
+    print(f"wrote {written['records']} records to {args.output}")
+    if args.trace:
+        print(f"wrote {written['spans']} spans to {args.trace}")
+    if args.metrics:
+        print(f"wrote metrics to {args.metrics}")
+    if args.faults:
+        from repro.analysis.availability import availability_report
+
+        print(availability_report(run.store).describe())
     return 0
 
 
@@ -403,6 +489,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_measure.add_argument(
         "--progress", action="store_true",
         help="print one structured line per completed round",
+    )
+    p_measure.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run the campaign sharded across N worker processes; the "
+             "written artifacts are byte-identical for any N given the "
+             "same seed (--workers 1 is the serial reference run)",
+    )
+    p_measure.add_argument(
+        "--shard-by", choices=["vantage", "resolver", "round"],
+        default="resolver",
+        help="shard axis for --workers (default: resolver cohorts)",
+    )
+    p_measure.add_argument(
+        "--shards", type=int, default=None, metavar="K",
+        help="shard count for --workers (default: one per vantage, or "
+             "8 cohorts/spans for resolver/round sharding)",
     )
     p_measure.set_defaults(func=_cmd_measure)
 

@@ -129,16 +129,44 @@ class ResultStore:
             grouped.setdefault(record.resolver, []).append(record)
         return grouped
 
+    # -- canonical ordering ---------------------------------------------------
+
+    @staticmethod
+    def canonical_key(record: MeasurementRecord) -> tuple:
+        """Total-order key for deterministic exports.
+
+        Orders by virtual schedule position first (round, start time),
+        then by the measurement's identity.  Sorting with this key is what
+        lets a sharded campaign and a serial one emit byte-identical
+        JSONL: the merge becomes independent of shard boundaries and
+        completion order.
+        """
+        return (
+            record.campaign,
+            record.round_index,
+            record.started_at_ms,
+            record.vantage,
+            record.resolver,
+            record.kind,
+            record.domain or "",
+            record.attempts,
+        )
+
+    def canonical_sort(self) -> None:
+        """Stable-sort records into canonical order (in place)."""
+        self._records.sort(key=self.canonical_key)
+
     # -- persistence --------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """All records as JSON Lines text (one record per line)."""
+        return "".join(record.to_json() + "\n" for record in self._records)
 
     def save_jsonl(self, path: Union[str, Path]) -> int:
         """Write all records as JSON Lines; returns the record count."""
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", encoding="utf-8") as handle:
-            for record in self._records:
-                handle.write(record.to_json())
-                handle.write("\n")
+        path.write_text(self.to_jsonl(), encoding="utf-8")
         return len(self._records)
 
     @classmethod

@@ -23,6 +23,7 @@ from repro.core.errors_taxonomy import CONNECTION_ESTABLISHMENT_CLASSES, ErrorCl
 from repro.core.probes import DohProbe, DohProbeConfig, PingProbe, ProbeOutcome
 from repro.core.results import MeasurementRecord, ResultStore
 from repro.core.scheduler import PeriodicSchedule
+from repro.core.seeding import derive_rng
 from repro.core.vantage import VantagePoint
 from repro.errors import CampaignConfigError
 from repro.netsim.network import Network
@@ -203,7 +204,7 @@ class Campaign:
                 targets=len(self.targets),
             )
         per_round = len(self.vantages) * len(self.targets)
-        for round_index, round_start in enumerate(self.config.schedule.round_starts()):
+        for round_index, round_start in self.config.schedule.round_items():
             start = max(round_start, loop.now)
             self._round_outstanding[round_index] = per_round
             if recorder.enabled:
@@ -232,11 +233,21 @@ class Campaign:
     def _rng_for(
         self, round_index: int, vantage: VantagePoint, target: ResolverTarget
     ) -> random.Random:
-        seed_material = (
-            f"{self.config.name}|{self.config.seed}|{round_index}|"
-            f"{vantage.name}|{target.hostname}"
+        """The (round, vantage, target) measurement's private RNG stream.
+
+        Derived with a stable hash — not Python's salted ``hash`` — so the
+        stream (and hence the probe stagger, backoff jitter, and every
+        client-side draw) is identical across processes and identical
+        whether the round runs inside a serial campaign or a shard.
+        """
+        return derive_rng(
+            self.config.seed,
+            "measurement",
+            self.config.name,
+            round_index,
+            vantage.name,
+            target.hostname,
         )
-        return random.Random(hash(seed_material) & 0xFFFFFFFF)
 
     # -- one (vantage, target) measurement set -----------------------------------
 

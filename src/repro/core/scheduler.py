@@ -11,8 +11,8 @@ naturally spreads them).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Iterator, List
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Tuple
 
 from repro.errors import CampaignConfigError
 
@@ -35,12 +35,19 @@ class PeriodicSchedule:
     stagger_ms:
         Width of the uniform window over which individual probes inside a
         round are spread (0 = all at the round start).
+    first_round_index:
+        Global index of this schedule's first round.  Non-zero when the
+        schedule is a shard's slice of a larger campaign: the slice keeps
+        the original absolute start times *and* the original round
+        indices, so records and derived RNG streams line up with the
+        unsliced campaign.
     """
 
     rounds: int
     interval_ms: float
     start_ms: float = 0.0
     stagger_ms: float = 0.0
+    first_round_index: int = 0
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -49,10 +56,40 @@ class PeriodicSchedule:
             raise CampaignConfigError("negative schedule interval/stagger")
         if self.stagger_ms > self.interval_ms and self.rounds > 1:
             raise CampaignConfigError("stagger larger than the round interval")
+        if self.first_round_index < 0:
+            raise CampaignConfigError("negative first_round_index")
 
     def round_starts(self) -> List[float]:
         """Absolute start time of every round."""
         return [self.start_ms + i * self.interval_ms for i in range(self.rounds)]
+
+    def round_items(self) -> List[Tuple[int, float]]:
+        """(global round index, absolute start time) of every round."""
+        return [
+            (self.first_round_index + i, self.start_ms + i * self.interval_ms)
+            for i in range(self.rounds)
+        ]
+
+    def slice_rounds(self, start: int, stop: int) -> "PeriodicSchedule":
+        """The sub-schedule covering local rounds ``[start, stop)``.
+
+        The slice preserves absolute round start times and global round
+        indices: round ``start`` of the slice fires at the same virtual
+        instant, with the same index and therefore the same derived RNG
+        streams, as it would inside the full schedule.  This is what makes
+        a round-range shard byte-equivalent to the same rounds of a
+        serial campaign.
+        """
+        if not 0 <= start < stop <= self.rounds:
+            raise CampaignConfigError(
+                f"round slice [{start}, {stop}) outside [0, {self.rounds})"
+            )
+        return replace(
+            self,
+            rounds=stop - start,
+            start_ms=self.start_ms + start * self.interval_ms,
+            first_round_index=self.first_round_index + start,
+        )
 
     def probe_offset(self, rng: random.Random) -> float:
         """Sample one probe's offset within its round."""

@@ -23,8 +23,10 @@ from repro.core.probes import DohProbeConfig
 from repro.core.results import ResultStore
 from repro.core.runner import Campaign, CampaignConfig, RetryPolicy
 from repro.core.scheduler import MS_PER_HOUR, PeriodicSchedule
+from repro.errors import CampaignConfigError
 from repro.experiments.world import World
 from repro.faults import FaultPlan, FaultPlanConfig, inject_faults
+from repro.parallel.runner import ParallelRun, chain_tasks, plan_campaign, run_parallel
 
 
 def home_campaign_config(rounds: int = 30, seed: int = 101) -> CampaignConfig:
@@ -204,3 +206,137 @@ def run_study(
         ).run()
 
     return store
+
+
+# -- sharded parallel execution ------------------------------------------------
+
+
+def _catalog_hostnames(target_hostnames: Optional[Iterable[str]]) -> List[str]:
+    if target_hostnames is not None:
+        return list(target_hostnames)
+    from repro.catalog.resolvers import CATALOG
+
+    return [entry.hostname for entry in CATALOG]
+
+
+def run_campaign_parallel(
+    config: CampaignConfig,
+    vantage_names: Sequence[str],
+    target_hostnames: Optional[Iterable[str]] = None,
+    world_seed: int = 0,
+    workers: int = 1,
+    shard_by: str = "vantage",
+    shards: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    collect_spans: bool = False,
+    collect_metrics: bool = False,
+) -> ParallelRun:
+    """Run one campaign sharded across workers and merge the artifacts.
+
+    ``workers=1`` is the serial reference execution of the same shard
+    plan; any higher worker count reproduces it byte for byte.  Each
+    shard runs on a fresh world built from ``world_seed``, so results
+    depend only on the plan — see :mod:`repro.parallel`.
+    """
+    tasks = plan_campaign(
+        config,
+        vantage_names,
+        _catalog_hostnames(target_hostnames),
+        world_seed=world_seed,
+        shard_by=shard_by,
+        shards=shards,
+        fault_plan_json=fault_plan.to_json() if fault_plan is not None else None,
+        collect_spans=collect_spans,
+        collect_metrics=collect_metrics,
+    )
+    return run_parallel(tasks, workers=workers)
+
+
+def run_study_parallel(
+    world_seed: int = 0,
+    home_rounds: int = 20,
+    ec2_rounds: int = 20,
+    target_hostnames: Optional[Iterable[str]] = None,
+    workers: int = 1,
+    shard_by: str = "vantage",
+    shards: Optional[int] = None,
+    collect_spans: bool = False,
+    collect_metrics: bool = False,
+) -> ParallelRun:
+    """The home + EC2 study as one sharded run over a shared worker pool.
+
+    Both campaigns are planned up front and their shards executed through
+    one pool, so a long home campaign cannot serialize behind the EC2
+    one.  The merged store holds both campaigns in canonical order.
+    """
+    hostnames = _catalog_hostnames(target_hostnames)
+    plans = []
+    if home_rounds > 0:
+        plans.append(
+            plan_campaign(
+                home_campaign_config(rounds=home_rounds),
+                HOME_VANTAGE_NAMES,
+                hostnames,
+                world_seed=world_seed,
+                shard_by=shard_by,
+                shards=shards,
+                collect_spans=collect_spans,
+                collect_metrics=collect_metrics,
+            )
+        )
+    if ec2_rounds > 0:
+        plans.append(
+            plan_campaign(
+                ec2_campaign_config(rounds=ec2_rounds),
+                EC2_VANTAGE_NAMES,
+                hostnames,
+                world_seed=world_seed,
+                shard_by=shard_by,
+                shards=shards,
+                collect_spans=collect_spans,
+                collect_metrics=collect_metrics,
+            )
+        )
+    if not plans:
+        raise CampaignConfigError("study needs home_rounds > 0 or ec2_rounds > 0")
+    return run_parallel(chain_tasks(*plans), workers=workers)
+
+
+def run_fault_study_parallel(
+    world_seed: int = 0,
+    rounds: int = 8,
+    fault_seed: int = 20230919,
+    plan_config: Optional[FaultPlanConfig] = None,
+    retry: Optional[RetryPolicy] = None,
+    vantage_names: Optional[Sequence[str]] = None,
+    target_hostnames: Optional[Iterable[str]] = None,
+    workers: int = 1,
+    shard_by: str = "vantage",
+    shards: Optional[int] = None,
+) -> Tuple[ParallelRun, FaultPlan]:
+    """Sharded variant of :func:`run_fault_study`.
+
+    The fault plan is generated once from ``fault_seed`` and shipped to
+    every shard, which arms only the windows of its own targets.  Because
+    plan generation derives an independent RNG per hostname, the armed
+    windows inside a shard are identical to the ones the serial fault
+    study arms for those resolvers.
+    """
+    hostnames = _catalog_hostnames(target_hostnames)
+    names = list(vantage_names) if vantage_names is not None else list(EC2_VANTAGE_NAMES)
+    config = fault_campaign_config(rounds=rounds, retry=retry)
+    horizon_ms = config.schedule.total_span_ms + config.schedule.interval_ms
+    plan = FaultPlan.generate(
+        hostnames, horizon_ms=horizon_ms, seed=fault_seed, config=plan_config
+    )
+    run = run_campaign_parallel(
+        config,
+        names,
+        hostnames,
+        world_seed=world_seed,
+        workers=workers,
+        shard_by=shard_by,
+        shards=shards,
+        fault_plan=plan,
+    )
+    return run, plan

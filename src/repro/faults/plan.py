@@ -185,6 +185,17 @@ class FaultPlan:
     def events_for(self, hostname: str) -> List[FaultEvent]:
         return [event for event in self.events if event.hostname == hostname]
 
+    def restricted_to(self, hostnames: Iterable[str]) -> "FaultPlan":
+        """The sub-plan touching only ``hostnames``.
+
+        Because :meth:`generate` derives an independent RNG per hostname,
+        restricting a plan equals generating one for the subset: a
+        campaign shard arms exactly the windows the full serial campaign
+        would have armed for its resolvers.
+        """
+        wanted = set(hostnames)
+        return FaultPlan(event for event in self.events if event.hostname in wanted)
+
     def active_at(self, at_ms: float) -> List[FaultEvent]:
         return [event for event in self.events if event.overlaps(at_ms)]
 

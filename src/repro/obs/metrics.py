@@ -198,6 +198,86 @@ class MetricsRegistry:
         self._gauges.clear()
         self._histograms.clear()
 
+    # -- mergeable state --------------------------------------------------
+
+    def to_state(self) -> Dict[str, Any]:
+        """Full internal state, JSON/pickle-friendly and lossless.
+
+        Unlike :meth:`snapshot` (which reduces histograms to quantile
+        estimates), the state keeps raw bucket counts, so registries can
+        be merged exactly: fixed-bucket histograms compose by adding
+        counts, which is why sharded and serial runs produce identical
+        quantile estimates after merging.
+        """
+        return {
+            "counters": {k: self._counters[k].value for k in sorted(self._counters)},
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {
+                k: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge_state(self, state: Dict[str, Any]) -> None:
+        """Fold one :meth:`to_state` dump into this registry.
+
+        Counters and histogram buckets add; gauges add as well (the
+        campaign gauges — record and error totals — are extensive
+        quantities, so summing across shards reproduces the whole-run
+        value).  Merging is commutative and associative, so the result is
+        independent of shard completion order.
+        """
+        for key, value in state.get("counters", {}).items():
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = Counter()
+            counter.inc(value)
+        for key, value in state.get("gauges", {}).items():
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = self._gauges[key] = Gauge()
+            gauge.set(gauge.value + value)
+        for key, dump in state.get("histograms", {}).items():
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = Histogram(tuple(dump["bounds"]))
+            if histogram.bounds != tuple(dump["bounds"]):
+                raise ValueError(
+                    f"histogram {key!r}: cannot merge differing bucket bounds"
+                )
+            for index, count in enumerate(dump["counts"]):
+                histogram.counts[index] += count
+            histogram.count += dump["count"]
+            histogram.total += dump["total"]
+            for bound_name in ("min", "max"):
+                theirs = dump[bound_name]
+                if theirs is None:
+                    continue
+                ours = getattr(histogram, bound_name)
+                if ours is None:
+                    setattr(histogram, bound_name, theirs)
+                elif bound_name == "min":
+                    histogram.min = min(ours, theirs)
+                else:
+                    histogram.max = max(ours, theirs)
+
+    @classmethod
+    def from_states(
+        cls, states: Sequence[Dict[str, Any]], enabled: bool = True
+    ) -> "MetricsRegistry":
+        """A registry holding the merge of several :meth:`to_state` dumps."""
+        merged = cls(enabled=enabled)
+        for state in states:
+            merged.merge_state(state)
+        return merged
+
     # -- export -----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:

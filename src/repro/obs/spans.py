@@ -194,6 +194,33 @@ class SpanCollector(SpanRecorder):
         self._next_id = 1
         self.dropped = 0
 
+    def absorb(self, spans: List[Span]) -> int:
+        """Append another collector's spans, rebasing their ids.
+
+        Incoming ids are shifted past this collector's current id space
+        (virtual timestamps are untouched), and parent links are rewired
+        by the same offset, so the absorbed trees stay intact.  Absorbing
+        shard collectors in a fixed order yields the same merged export
+        regardless of which shard finished first — the deterministic-merge
+        building block of the parallel executor.  Returns the id offset
+        applied.
+        """
+        offset = self._next_id - 1
+        for span in spans:
+            rebased = Span(
+                span_id=span.span_id + offset,
+                parent_id=(span.parent_id + offset) if span.parent_id else None,
+                name=span.name,
+                start_ms=span.start_ms,
+                end_ms=span.end_ms,
+                status=span.status,
+                attrs=dict(span.attrs),
+            )
+            self._spans.append(rebased)
+            self._by_id[rebased.span_id] = rebased
+            self._next_id = max(self._next_id, rebased.span_id + 1)
+        return offset
+
     def roots(self) -> List[Span]:
         return [s for s in self._spans if s.parent_id is None]
 

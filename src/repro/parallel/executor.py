@@ -1,0 +1,181 @@
+"""Standalone execution of one campaign shard.
+
+:func:`execute_shard` is the unit of work the pool distributes.  It is a
+module-level function taking one picklable :class:`ShardTask` and
+returning one picklable :class:`ShardResult`, so it runs identically
+
+* in-process (the ``workers=1`` sequential fallback),
+* in a forked worker, and
+* in a spawned worker on platforms without ``fork``.
+
+A shard runs on a **fresh world** built from the campaign's world seed —
+the exact world the serial campaign uses — restricted to the shard's
+vantages, targets and round range.  Because every RNG stream in the
+measurement path is derived from stable structural keys (see
+:mod:`repro.core.seeding`), the result depends only on the task, never on
+the process that ran it or on what other shards are doing.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.core.results import MeasurementRecord, ResultStore
+from repro.core.runner import Campaign, CampaignConfig
+from repro.errors import CampaignConfigError
+from repro.obs import (
+    NULL_RECORDER,
+    MetricsRegistry,
+    Span,
+    SpanCollector,
+    tracing,
+)
+from repro.parallel.shard import Shard
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker needs to run one shard, picklable.
+
+    ``config`` is the *unsliced* campaign config; the executor slices its
+    schedule to ``[round_start, round_stop)``.  ``network_seed`` (when not
+    ``None``) reseeds the shard world's packet-jitter/loss stream;
+    multi-shard plans use it to de-correlate shards, while the identity
+    plan leaves the world untouched, reproducing the classic serial
+    campaign exactly.
+    """
+
+    world_seed: int
+    config: CampaignConfig
+    vantage_names: Tuple[str, ...]
+    target_hostnames: Tuple[str, ...]
+    round_start: int
+    round_stop: int
+    shard_index: int
+    shard_key: str
+    shard_seed: int
+    network_seed: Optional[int]
+    fault_plan_json: Optional[str] = None
+    collect_spans: bool = False
+    collect_metrics: bool = False
+    warm_caches: bool = True
+
+    @classmethod
+    def from_shard(
+        cls,
+        shard: Shard,
+        config: CampaignConfig,
+        world_seed: int,
+        fault_plan_json: Optional[str] = None,
+        collect_spans: bool = False,
+        collect_metrics: bool = False,
+        warm_caches: bool = True,
+    ) -> "ShardTask":
+        if shard.round_stop > config.schedule.rounds:
+            raise CampaignConfigError(
+                f"shard {shard.key!r} rounds [{shard.round_start}, {shard.round_stop}) "
+                f"exceed the schedule's {config.schedule.rounds} rounds"
+            )
+        return cls(
+            world_seed=world_seed,
+            config=config,
+            vantage_names=shard.vantage_names,
+            target_hostnames=shard.target_hostnames,
+            round_start=shard.round_start,
+            round_stop=shard.round_stop,
+            shard_index=shard.index,
+            shard_key=shard.key,
+            shard_seed=shard.seed,
+            network_seed=shard.network_seed,
+            fault_plan_json=fault_plan_json,
+            collect_spans=collect_spans,
+            collect_metrics=collect_metrics,
+            warm_caches=warm_caches,
+        )
+
+
+@dataclass
+class ShardResult:
+    """What one shard hands back to the merger."""
+
+    shard_index: int
+    shard_key: str
+    records: List[MeasurementRecord]
+    spans: List[Span]
+    metrics_state: Optional[dict]
+    wall_seconds: float
+
+    def describe(self) -> str:
+        return (
+            f"shard[{self.shard_index}] {self.shard_key}: "
+            f"{len(self.records)} records, {len(self.spans)} spans, "
+            f"{self.wall_seconds:.2f}s"
+        )
+
+
+def execute_shard(task: ShardTask) -> ShardResult:
+    """Run one shard on a fresh world and collect its artifacts."""
+    from repro.experiments.world import build_world
+
+    started = time.perf_counter()
+    world = build_world(seed=task.world_seed, warm_caches=task.warm_caches)
+    if task.network_seed is not None:
+        # De-correlate this shard's packet noise from its siblings.  The
+        # reseed happens after cache warming, so all shards diverge from
+        # the same warmed world state.
+        world.network.rng = random.Random(task.network_seed)
+
+    vantages = [world.vantage(name) for name in task.vantage_names]
+    targets = world.targets(list(task.target_hostnames))
+    if len(targets) != len(task.target_hostnames):
+        known = {target.hostname for target in targets}
+        missing = [h for h in task.target_hostnames if h not in known]
+        raise CampaignConfigError(
+            f"shard {task.shard_key!r}: unknown targets {', '.join(missing)}"
+        )
+
+    if task.fault_plan_json:
+        from repro.faults import FaultPlan, inject_faults
+
+        plan = FaultPlan.from_json(task.fault_plan_json).restricted_to(
+            task.target_hostnames
+        )
+        if len(plan):
+            inject_faults(
+                world.network,
+                [world.deployments[hostname] for hostname in task.target_hostnames],
+                plan,
+            )
+
+    config = replace(
+        task.config,
+        schedule=task.config.schedule.slice_rounds(task.round_start, task.round_stop),
+    )
+    recorder = SpanCollector() if task.collect_spans else NULL_RECORDER
+    metrics = MetricsRegistry(enabled=task.collect_metrics)
+    store = ResultStore()
+    # Install both ambiently so the protocol layers (netsim, tlssim,
+    # httpsim, quicsim) report into the shard's own registry; the
+    # sequential fallback restores the previous ambient pair on exit.
+    with tracing(recorder=recorder, metrics=metrics):
+        Campaign(
+            network=world.network,
+            vantages=vantages,
+            targets=targets,
+            config=config,
+            store=store,
+            recorder=recorder,
+            metrics=metrics,
+        ).run()
+
+    return ShardResult(
+        shard_index=task.shard_index,
+        shard_key=task.shard_key,
+        records=store.records,
+        spans=recorder.spans if isinstance(recorder, SpanCollector) else [],
+        metrics_state=metrics.to_state() if task.collect_metrics else None,
+        wall_seconds=time.perf_counter() - started,
+    )

@@ -1,0 +1,72 @@
+"""Deterministic merge of shard results into whole-campaign artifacts.
+
+The merge is independent of shard completion order and of how many
+workers produced the results:
+
+* **records** — shard record lists are concatenated in shard-plan order,
+  then stable-sorted into the canonical order of
+  :meth:`repro.core.results.ResultStore.canonical_key` (round, virtual
+  start time, vantage, resolver, ...).  Two runs of the same plan — one
+  serial, one pooled — export byte-identical JSONL;
+* **spans** — per-shard span ids all start at 1, so each shard's spans
+  are rebased past the previous shard's id space (in plan order) while
+  keeping their virtual timestamps; parent links move by the same offset,
+  leaving every shard's campaign>round>measurement>probe tree intact;
+* **metrics** — counter values and raw histogram buckets add; gauges
+  (extensive totals) add as well.  Addition is commutative, so the merged
+  registry is order-independent by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.results import ResultStore
+from repro.errors import CampaignConfigError
+from repro.obs import MetricsRegistry, SpanCollector
+from repro.parallel.executor import ShardResult
+
+
+def merge_shard_results(
+    results: Sequence[ShardResult],
+) -> Tuple[ResultStore, SpanCollector, MetricsRegistry]:
+    """Fold shard results into one store, span collector and registry.
+
+    ``results`` may arrive in any order (e.g. pool completion order);
+    they are merged in shard-plan order.  Duplicate or missing shard
+    indices raise — a merge over a partial plan would silently produce a
+    truncated campaign.
+    """
+    ordered = sorted(results, key=lambda result: result.shard_index)
+    indices = [result.shard_index for result in ordered]
+    if len(set(indices)) != len(indices):
+        raise CampaignConfigError(f"duplicate shard indices in merge: {indices}")
+
+    store = ResultStore()
+    for result in ordered:
+        store.extend(result.records)
+    store.canonical_sort()
+
+    spans = SpanCollector()
+    for result in ordered:
+        if result.spans:
+            spans.absorb(result.spans)
+
+    states = [result.metrics_state for result in ordered if result.metrics_state]
+    metrics = MetricsRegistry.from_states(states, enabled=bool(states))
+
+    return store, spans, metrics
+
+
+def coverage_triples(results: Sequence[ShardResult]) -> List[Tuple[str, str, int]]:
+    """(vantage, resolver, round) triples present in merged dns records.
+
+    Diagnostic helper for equivalence checks: a correct plan covers every
+    triple of the original campaign exactly once across shards.
+    """
+    seen: List[Tuple[str, str, int]] = []
+    for result in sorted(results, key=lambda r: r.shard_index):
+        for record in result.records:
+            if record.kind == "ping":
+                seen.append((record.vantage, record.resolver, record.round_index))
+    return seen

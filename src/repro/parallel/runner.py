@@ -1,0 +1,187 @@
+"""Orchestration: plan a sharded campaign and run it across workers.
+
+:func:`plan_campaign` turns a campaign description into a list of
+:class:`~repro.parallel.executor.ShardTask`; :func:`run_parallel`
+executes the tasks — sequentially in-process for ``workers=1``, across a
+:class:`concurrent.futures.ProcessPoolExecutor` otherwise — and merges
+the results deterministically.  Both paths run the *same* tasks through
+the *same* :func:`~repro.parallel.executor.execute_shard`, which is why
+``workers=4`` reproduces ``workers=1`` byte for byte.
+
+If the platform cannot start worker processes at all (no ``fork`` and a
+broken ``spawn``, restricted environments), the pool path degrades to the
+sequential fallback instead of failing, with a note on the result.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.results import ResultStore
+from repro.core.runner import CampaignConfig
+from repro.errors import CampaignConfigError
+from repro.obs import MetricsRegistry, SpanCollector
+from repro.parallel.executor import ShardResult, ShardTask, execute_shard
+from repro.parallel.merge import merge_shard_results
+from repro.parallel.shard import Shard, partition
+
+
+@dataclass
+class ParallelRun:
+    """Merged artifacts and execution metadata of one sharded campaign."""
+
+    store: ResultStore
+    spans: SpanCollector
+    metrics: MetricsRegistry
+    shard_results: List[ShardResult]
+    workers: int
+    pool_used: bool
+    fallback_reason: Optional[str] = None
+    wall_seconds: float = 0.0
+    shard_wall_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        mode = (
+            f"{self.workers} workers (process pool)"
+            if self.pool_used
+            else "sequential"
+            + (f" [{self.fallback_reason}]" if self.fallback_reason else "")
+        )
+        return (
+            f"parallel run: {len(self.shard_results)} shards via {mode}, "
+            f"{len(self.store)} records, {len(self.spans)} spans, "
+            f"{self.wall_seconds:.2f}s wall"
+        )
+
+
+def plan_campaign(
+    config: CampaignConfig,
+    vantage_names: Sequence[str],
+    target_hostnames: Sequence[str],
+    world_seed: int = 0,
+    shard_by: str = "vantage",
+    shards: Optional[int] = None,
+    fault_plan_json: Optional[str] = None,
+    collect_spans: bool = False,
+    collect_metrics: bool = False,
+    warm_caches: bool = True,
+) -> List[ShardTask]:
+    """Shard one campaign into executable tasks.
+
+    The shard plan is a pure function of the arguments, so every process
+    that plans the same campaign derives the same tasks — the planner
+    never needs to ship the plan to workers out of band.
+    """
+    shard_list: List[Shard] = partition(
+        vantage_names,
+        target_hostnames,
+        rounds=config.schedule.rounds,
+        shard_by=shard_by,
+        shards=shards,
+        seed=config.seed,
+    )
+    return [
+        ShardTask.from_shard(
+            shard,
+            config=config,
+            world_seed=world_seed,
+            fault_plan_json=fault_plan_json,
+            collect_spans=collect_spans,
+            collect_metrics=collect_metrics,
+            warm_caches=warm_caches,
+        )
+        for shard in shard_list
+    ]
+
+
+def chain_tasks(*plans: Sequence[ShardTask]) -> List[ShardTask]:
+    """Concatenate shard plans, renumbering indices to stay unique.
+
+    Used to drive several campaigns (e.g. the home and EC2 studies)
+    through one worker pool while keeping the merge order well-defined:
+    plan order first, shard order within each plan second.
+    """
+    from dataclasses import replace as dc_replace
+
+    chained: List[ShardTask] = []
+    for plan in plans:
+        for task in plan:
+            chained.append(dc_replace(task, shard_index=len(chained)))
+    return chained
+
+
+def _run_sequential(tasks: Sequence[ShardTask]) -> List[ShardResult]:
+    return [execute_shard(task) for task in tasks]
+
+
+def _run_pooled(tasks: Sequence[ShardTask], workers: int) -> List[ShardResult]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    results: List[ShardResult] = []
+    with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+        futures = [pool.submit(execute_shard, task) for task in tasks]
+        # Collect in completion-independent submission order; the merge
+        # re-sorts by shard index anyway, so ordering here is cosmetic.
+        for future in futures:
+            results.append(future.result())
+    return results
+
+
+def run_parallel(
+    tasks: Sequence[ShardTask],
+    workers: int = 1,
+) -> ParallelRun:
+    """Execute shard tasks and merge their results.
+
+    ``workers=1`` (or a single task) runs everything in-process; higher
+    counts use a process pool, falling back to sequential execution — with
+    the reason recorded on the result — when worker processes cannot be
+    started on this platform.
+    """
+    import time
+
+    if not tasks:
+        raise CampaignConfigError("no shard tasks to run")
+    if workers < 1:
+        raise CampaignConfigError(f"worker count {workers!r} must be >= 1")
+
+    started = time.perf_counter()
+    pool_used = False
+    fallback_reason: Optional[str] = None
+    if workers == 1 or len(tasks) == 1:
+        results = _run_sequential(tasks)
+    else:
+        try:
+            results = _run_pooled(tasks, workers)
+            pool_used = True
+        except (ImportError, OSError, PermissionError) as exc:
+            # Platforms without usable multiprocessing (no fork, sandboxed
+            # spawn, missing semaphores) still complete the run.
+            fallback_reason = f"process pool unavailable: {exc}"
+            results = _run_sequential(tasks)
+
+    store, spans, metrics = merge_shard_results(results)
+    return ParallelRun(
+        store=store,
+        spans=spans,
+        metrics=metrics,
+        shard_results=sorted(results, key=lambda result: result.shard_index),
+        workers=workers,
+        pool_used=pool_used,
+        fallback_reason=fallback_reason,
+        wall_seconds=time.perf_counter() - started,
+        shard_wall_seconds={
+            result.shard_key: result.wall_seconds for result in results
+        },
+    )
+
+
+def default_worker_count() -> int:
+    """A sensible default worker count for this machine."""
+    try:
+        available = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        available = os.cpu_count() or 1
+    return max(1, available)

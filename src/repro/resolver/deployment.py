@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.core.seeding import derive_rng
 from repro.errors import CampaignConfigError
 from repro.netsim.host import Host
 from repro.netsim.icmp import IcmpPolicy
@@ -125,7 +126,11 @@ class ResolverDeployment:
     def activate(self, network: Network, root_hints: RootHints) -> None:
         """Install caches, engines, frontends and policies on every site."""
         for index, site in enumerate(self.sites):
-            rng = random.Random((hash(self.hostname) & 0xFFFFFFFF) ^ self.seed ^ index)
+            # Stable derivation (not Python's salted ``hash``): two
+            # processes building the same world must wire identical RNG
+            # streams, or sharded campaign runs could not reproduce the
+            # serial run's world.
+            rng = derive_rng(self.seed, "deployment", self.hostname, index)
             site.cache = DnsCache()
             site.engine = RecursiveResolver(
                 host=site.host,
