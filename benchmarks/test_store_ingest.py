@@ -1,0 +1,125 @@
+"""STORE — warehouse ingest throughput and aggregate-query speedup.
+
+Streams the shared home + EC2 study through a :class:`StoreSink`, records
+the ingest rate, then times the paper's summary tables served two ways:
+from the warehouse's persisted incremental aggregates (no record scan)
+and recomputed from a full segment scan.  Both produce identical tables —
+the equivalence suite pins that — so the only difference is time, and the
+aggregate path must be at least 5x faster (tunable via
+``REPRO_BENCH_MIN_STORE_SPEEDUP``).  Results land in ``BENCH_store.json``
+at the repo root; CI uploads it as an artifact.
+
+Timing uses ``time.perf_counter`` directly so this file runs under a
+plain pytest install.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchmarks.conftest import print_artifact
+from repro.store import (
+    AggregateBook,
+    StoreSink,
+    Warehouse,
+    availability_from_aggregates,
+    per_resolver_availability_from_aggregates,
+    response_time_summaries,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+SEGMENT_RECORDS = 4096
+
+#: The aggregate-served path must beat the full scan by at least this much.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_STORE_SPEEDUP", "5.0"))
+
+#: Repetitions of the (fast) aggregate-served side, for a stable numerator.
+AGG_REPS = 20
+
+
+def _summary_tables(book: AggregateBook):
+    """The three summary artifacts ``repro store summarize`` serves."""
+    overall = availability_from_aggregates(book)
+    per_resolver = per_resolver_availability_from_aggregates(book)
+    latencies = response_time_summaries(book)
+    return (overall.successes, overall.errors), per_resolver, {
+        name: (s.count, s.p50_ms, s.p95_ms, s.p99_ms)
+        for name, s in latencies.items()
+    }
+
+
+def test_store_ingest_and_aggregate_speedup(study_store, tmp_path):
+    records = study_store.records
+
+    # --- ingest: stream every study record through the sink -------------
+    started = time.perf_counter()
+    sink = StoreSink(
+        Warehouse(tmp_path / "staging"), segment_records=SEGMENT_RECORDS
+    )
+    sink.extend(records)
+    staged = sink.close()
+    warehouse = Warehouse.build_canonical(
+        [staged], tmp_path / "wh", segment_records=SEGMENT_RECORDS
+    )
+    ingest_seconds = time.perf_counter() - started
+    assert sink.buffer_high_water_mark <= SEGMENT_RECORDS
+
+    warehouse_bytes = sum(
+        p.stat().st_size for p in warehouse.root.rglob("*") if p.is_file()
+    )
+
+    # --- aggregate-served summaries (no record scan) ---------------------
+    started = time.perf_counter()
+    for _ in range(AGG_REPS):
+        book = warehouse.aggregates()
+        served = _summary_tables(book)
+    aggregate_seconds = (time.perf_counter() - started) / AGG_REPS
+
+    # --- the same summaries recomputed from a full segment scan ----------
+    started = time.perf_counter()
+    scanned_book = AggregateBook.from_records(warehouse.iter_records())
+    scanned = _summary_tables(scanned_book)
+    scan_seconds = time.perf_counter() - started
+
+    # Identical tables, or the speedup is meaningless.
+    assert served == scanned
+
+    speedup = scan_seconds / max(aggregate_seconds, 1e-9)
+    report = {
+        "records": len(warehouse),
+        "segments": len(warehouse.manifest()["segments"]),
+        "segment_records": SEGMENT_RECORDS,
+        "warehouse_bytes": warehouse_bytes,
+        "ingest_seconds": round(ingest_seconds, 3),
+        "ingest_records_per_second": round(len(warehouse) / ingest_seconds, 1),
+        "aggregate_query_seconds": round(aggregate_seconds, 6),
+        "full_scan_seconds": round(scan_seconds, 3),
+        "speedup": round(speedup, 1),
+        "min_speedup_enforced": MIN_SPEEDUP,
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    print_artifact(
+        "Warehouse ingest + aggregate-query speedup",
+        "\n".join(
+            [
+                f"records:   {report['records']} "
+                f"({report['segments']} segments, "
+                f"{warehouse_bytes / 1e6:.1f} MB)",
+                f"ingest:    {ingest_seconds:.2f}s "
+                f"({report['ingest_records_per_second']:.0f} records/s)",
+                f"aggregate: {aggregate_seconds * 1e3:.2f} ms per summary",
+                f"full scan: {scan_seconds:.2f}s per summary",
+                f"speedup:   {speedup:.0f}x (floor {MIN_SPEEDUP:.0f}x)",
+                f"report:    {BENCH_PATH.name}",
+            ]
+        ),
+    )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"aggregate-served summary only {speedup:.1f}x faster than the "
+        f"full scan ({aggregate_seconds * 1e3:.2f} ms vs {scan_seconds:.2f}s)"
+    )

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.analysis.stats import median
 from repro.core.errors_taxonomy import CONNECTION_ESTABLISHMENT_CLASSES, ErrorClass
-from repro.core.results import ResultStore
+from repro.core.results import RecordSource
 
 #: String values of the paper's dominant error group, for record matching.
 _ESTABLISHMENT_VALUES = frozenset(c.value for c in CONNECTION_ESTABLISHMENT_CLASSES)
@@ -55,7 +55,7 @@ class AvailabilityReport:
         return "\n".join(lines)
 
 
-def availability_report(store: ResultStore, vantage: Optional[str] = None) -> AvailabilityReport:
+def availability_report(store: RecordSource, vantage: Optional[str] = None) -> AvailabilityReport:
     """Compute the availability headline numbers over DNS query records."""
     records = store.filter(kind="dns_query", vantage=vantage)
     successes = sum(1 for r in records if r.success)
@@ -110,7 +110,7 @@ class ResolverErrorProfile:
 
 
 def per_resolver_error_breakdown(
-    store: ResultStore, vantage: Optional[str] = None
+    store: RecordSource, vantage: Optional[str] = None
 ) -> Dict[str, ResolverErrorProfile]:
     """Per-resolver, per-class error counts over DNS query records.
 
@@ -130,7 +130,7 @@ def per_resolver_error_breakdown(
     return profiles
 
 
-def error_class_shares(store: ResultStore, vantage: Optional[str] = None) -> Dict[str, float]:
+def error_class_shares(store: RecordSource, vantage: Optional[str] = None) -> Dict[str, float]:
     """Share of each error class among all failed DNS queries."""
     failures = store.filter(kind="dns_query", vantage=vantage, success=False)
     if not failures:
@@ -140,7 +140,7 @@ def error_class_shares(store: ResultStore, vantage: Optional[str] = None) -> Dic
     return {error_class: count / total for error_class, count in counts.items()}
 
 
-def retry_burden(store: ResultStore, vantage: Optional[str] = None) -> float:
+def retry_burden(store: RecordSource, vantage: Optional[str] = None) -> float:
     """Mean attempts per final DNS query record (1.0 = no retries needed)."""
     records = store.filter(kind="dns_query", vantage=vantage)
     if not records:
@@ -149,7 +149,7 @@ def retry_burden(store: ResultStore, vantage: Optional[str] = None) -> float:
 
 
 def per_resolver_availability(
-    store: ResultStore, vantage: Optional[str] = None
+    store: RecordSource, vantage: Optional[str] = None
 ) -> Dict[str, float]:
     """Success rate of DNS queries per resolver."""
     rates: Dict[str, float] = {}
@@ -159,7 +159,7 @@ def per_resolver_availability(
     return rates
 
 
-def unresponsive_resolvers(store: ResultStore, vantage: Optional[str] = None) -> List[str]:
+def unresponsive_resolvers(store: RecordSource, vantage: Optional[str] = None) -> List[str]:
     """Resolvers with zero successful responses from a vantage point.
 
     This is the paper's definition of "unresponsive from a given vantage
@@ -172,7 +172,7 @@ def unresponsive_resolvers(store: ResultStore, vantage: Optional[str] = None) ->
     )
 
 
-def failure_pattern_consistency(store: ResultStore) -> float:
+def failure_pattern_consistency(store: RecordSource) -> float:
     """How concentrated failures are in a fixed resolver subset, in [0, 1].
 
     For each round, collect the set of resolvers that had at least one

@@ -13,11 +13,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.analysis.response_times import ping_durations, resolver_medians
 from repro.analysis.stats import median
-from repro.core.results import ResultStore
+from repro.core.results import MeasurementRecord, RecordSource
 from repro.errors import AnalysisError
 
 
@@ -113,7 +113,7 @@ class LatencyCorrelation:
 
 
 def latency_correlation(
-    store: ResultStore, vantage: str, min_samples: int = 3
+    store: RecordSource, vantage: str, min_samples: int = 3
 ) -> LatencyCorrelation:
     """Build the per-resolver (ping, DNS) correlation for one vantage point.
 
@@ -132,3 +132,53 @@ def latency_correlation(
             f"not enough resolvers with both ping and DNS data from {vantage}"
         )
     return correlation
+
+
+def latency_correlations_from_records(
+    records: Iterable[MeasurementRecord],
+    vantages: Optional[Iterable[str]] = None,
+    min_samples: int = 3,
+) -> Dict[str, Union[LatencyCorrelation, AnalysisError]]:
+    """Single-pass streaming variant of :func:`latency_correlation`.
+
+    Consumes any record iterable — :meth:`ResultStore.iter_jsonl`, a
+    warehouse scan — holding only per-(vantage, resolver) duration lists,
+    so memory is O(successful samples), never O(records).  Returns one
+    entry per vantage observed in the stream (or per requested vantage):
+    the correlation, or the :class:`AnalysisError` explaining why that
+    vantage has too little data.  Identical to calling
+    :func:`latency_correlation` per vantage on a loaded store.
+    """
+    wanted = list(dict.fromkeys(vantages)) if vantages is not None else None
+    seen: set = set()
+    dns: Dict[Tuple[str, str], List[float]] = {}
+    pings: Dict[Tuple[str, str], List[float]] = {}
+    for record in records:
+        seen.add(record.vantage)
+        if not record.success or record.duration_ms is None:
+            continue
+        if wanted is not None and record.vantage not in wanted:
+            continue
+        key = (record.vantage, record.resolver)
+        if record.kind == "dns_query":
+            dns.setdefault(key, []).append(record.duration_ms)
+        elif record.kind == "ping":
+            pings.setdefault(key, []).append(record.duration_ms)
+
+    out: Dict[str, Union[LatencyCorrelation, AnalysisError]] = {}
+    for vantage in wanted if wanted is not None else sorted(seen):
+        correlation = LatencyCorrelation(vantage=vantage)
+        for resolver in sorted(r for v, r in dns if v == vantage):
+            ping_samples = pings.get((vantage, resolver), [])
+            if len(ping_samples) < min_samples:
+                continue
+            correlation.pairs.append(
+                (resolver, median(ping_samples), median(dns[(vantage, resolver)]))
+            )
+        if len(correlation.pairs) < 3:
+            out[vantage] = AnalysisError(
+                f"not enough resolvers with both ping and DNS data from {vantage}"
+            )
+        else:
+            out[vantage] = correlation
+    return out

@@ -10,11 +10,11 @@ a threshold.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.response_times import resolver_medians
 from repro.analysis.stats import median
-from repro.core.results import ResultStore
+from repro.core.results import MeasurementRecord, RecordSource, ResultStore
 from repro.errors import AnalysisError
 
 
@@ -89,7 +89,7 @@ class DriftReport:
         return "\n".join(lines)
 
 
-def campaigns_in_order(store: ResultStore) -> List[str]:
+def campaigns_in_order(store: RecordSource) -> List[str]:
     """Campaign names ordered by their first record's start time."""
     first_seen: Dict[str, float] = {}
     for record in store:
@@ -98,7 +98,7 @@ def campaigns_in_order(store: ResultStore) -> List[str]:
     return [name for name, _t in sorted(first_seen.items(), key=lambda kv: kv[1])]
 
 
-def _campaign_view(store: ResultStore, campaign: str) -> ResultStore:
+def _campaign_view(store: RecordSource, campaign: str) -> ResultStore:
     view = ResultStore()
     view.extend(record for record in store if record.campaign == campaign)
     return view
@@ -112,7 +112,7 @@ def _availability(view: ResultStore, resolver: str, vantage: Optional[str]) -> f
 
 
 def drift_report(
-    store: ResultStore,
+    store: RecordSource,
     base_campaign: str,
     later_campaign: str,
     vantage: Optional[str] = None,
@@ -154,7 +154,7 @@ def drift_report(
 
 
 def drift_reports_over_time(
-    store: ResultStore,
+    store: RecordSource,
     vantage: Optional[str] = None,
     latency_factor: float = 2.0,
 ) -> List[DriftReport]:
@@ -167,3 +167,77 @@ def drift_reports_over_time(
         drift_report(store, base, later, vantage=vantage, latency_factor=latency_factor)
         for later in ordered[1:]
     ]
+
+
+def drift_reports_from_records(
+    records: Iterable[MeasurementRecord],
+    vantage: Optional[str] = None,
+    latency_factor: float = 2.0,
+    availability_drop: float = 0.2,
+) -> List[DriftReport]:
+    """Single-pass streaming variant of :func:`drift_reports_over_time`.
+
+    Consumes any record iterable, keeping only per-(campaign, resolver)
+    duration lists and success counters — never the records themselves —
+    and produces the same reports :func:`drift_reports_over_time` builds
+    from a loaded store: campaign order by first start time over *all*
+    records, medians over successful DNS durations, availability over all
+    DNS query records (each restricted to ``vantage`` when given).
+    """
+    first_seen: Dict[str, float] = {}
+    durations: Dict[Tuple[str, str], List[float]] = {}
+    query_counts: Dict[Tuple[str, str], List[int]] = {}  # [successes, total]
+    for record in records:
+        campaign = record.campaign
+        if campaign not in first_seen or record.started_at_ms < first_seen[campaign]:
+            first_seen[campaign] = record.started_at_ms
+        if record.kind != "dns_query":
+            continue
+        if vantage is not None and record.vantage != vantage:
+            continue
+        key = (campaign, record.resolver)
+        counts = query_counts.setdefault(key, [0, 0])
+        counts[1] += 1
+        if record.success:
+            counts[0] += 1
+            if record.duration_ms is not None:
+                durations.setdefault(key, []).append(record.duration_ms)
+
+    ordered = [name for name, _t in sorted(first_seen.items(), key=lambda kv: kv[1])]
+    if len(ordered) < 2:
+        raise AnalysisError("need at least two campaigns for drift analysis")
+
+    def medians_of(campaign: str) -> Dict[str, float]:
+        return {
+            resolver: median(samples)
+            for (c, resolver), samples in durations.items()
+            if c == campaign and samples
+        }
+
+    def availability_of(campaign: str, resolver: str) -> float:
+        successes, total = query_counts.get((campaign, resolver), (0, 0))
+        return successes / total if total else 0.0
+
+    base = ordered[0]
+    base_medians = medians_of(base)
+    reports = []
+    for later in ordered[1:]:
+        later_medians = medians_of(later)
+        report = DriftReport(
+            base_campaign=base,
+            later_campaign=later,
+            latency_factor=latency_factor,
+            availability_drop=availability_drop,
+        )
+        for resolver in sorted(set(base_medians) & set(later_medians)):
+            report.per_resolver.append(
+                ResolverDrift(
+                    resolver=resolver,
+                    base_median_ms=base_medians[resolver],
+                    later_median_ms=later_medians[resolver],
+                    base_availability=availability_of(base, resolver),
+                    later_availability=availability_of(later, resolver),
+                )
+            )
+        reports.append(report)
+    return reports

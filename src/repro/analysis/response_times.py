@@ -16,31 +16,35 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import median
-from repro.core.results import ResultStore
+from repro.core.results import RecordSource
+
+# Every function here takes any RecordSource — the in-memory ResultStore
+# or an on-disk repro.store.Warehouse — since only the protocol surface
+# (filter / durations_ms / by_resolver) is used.
 
 
 def query_durations(
-    store: ResultStore, vantage: Optional[str] = None, resolver: Optional[str] = None
+    store: RecordSource, vantage: Optional[str] = None, resolver: Optional[str] = None
 ) -> List[float]:
     """Successful DNS query durations (ms) matching the criteria."""
     return store.durations_ms(kind="dns_query", vantage=vantage, resolver=resolver)
 
 
 def ping_durations(
-    store: ResultStore, vantage: Optional[str] = None, resolver: Optional[str] = None
+    store: RecordSource, vantage: Optional[str] = None, resolver: Optional[str] = None
 ) -> List[float]:
     """Successful ping RTTs (ms) matching the criteria."""
     return store.durations_ms(kind="ping", vantage=vantage, resolver=resolver)
 
 
-def resolver_median(store: ResultStore, resolver: str, vantage: Optional[str] = None) -> Optional[float]:
+def resolver_median(store: RecordSource, resolver: str, vantage: Optional[str] = None) -> Optional[float]:
     """Median successful response time, or None with no successes."""
     durations = query_durations(store, vantage=vantage, resolver=resolver)
     return median(durations) if durations else None
 
 
 def resolver_medians(
-    store: ResultStore,
+    store: RecordSource,
     vantage: Optional[str] = None,
     resolvers: Optional[Iterable[str]] = None,
 ) -> Dict[str, float]:
@@ -56,7 +60,7 @@ def resolver_medians(
     return out
 
 
-def max_median_by_vantage(store: ResultStore, vantages: Sequence[str]) -> Dict[str, Tuple[str, float]]:
+def max_median_by_vantage(store: RecordSource, vantages: Sequence[str]) -> Dict[str, Tuple[str, float]]:
     """Per vantage point: the resolver with the highest median and its value.
 
     Reproduces the paper's "maximum response time from a resolver was X ms"
@@ -91,7 +95,7 @@ class VantageDelta:
 
 
 def largest_vantage_deltas(
-    store: ResultStore,
+    store: RecordSource,
     resolvers: Iterable[str],
     near_vantage: str,
     far_vantage: str,
@@ -131,7 +135,7 @@ class LocalWinner:
 
 
 def local_winners(
-    store: ResultStore,
+    store: RecordSource,
     vantage: str,
     candidates: Iterable[str],
     mainstream: Iterable[str],
@@ -161,7 +165,7 @@ def local_winners(
     return winners
 
 
-def variability(store: ResultStore, resolver: str, vantage: Optional[str] = None) -> Optional[float]:
+def variability(store: RecordSource, resolver: str, vantage: Optional[str] = None) -> Optional[float]:
     """IQR of a resolver's response times (the paper's variability notion)."""
     durations = query_durations(store, vantage=vantage, resolver=resolver)
     if len(durations) < 4:

@@ -19,7 +19,8 @@ from __future__ import annotations
 import argparse
 import random
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Iterator, List, Optional
 
 from repro.analysis.render import render_boxplot_rows, render_table
 from repro.catalog.browsers import mainstream_hostnames
@@ -28,6 +29,21 @@ from repro.core.probes import DohProbe, DohProbeConfig
 from repro.core.results import ResultStore
 from repro.core.runner import Campaign, CampaignConfig
 from repro.core.scheduler import MS_PER_HOUR, PeriodicSchedule
+
+
+def _record_stream(path: str) -> Iterator:
+    """Stream records from a JSONL file or a warehouse directory.
+
+    Commands taking ``--input`` accept either; both paths stream — the
+    whole file is never loaded into memory.
+    """
+    if Path(path).is_dir():
+        from repro.store import Warehouse
+
+        return Warehouse.open(path).iter_records()
+    from repro.core.results import ResultStore
+
+    return ResultStore.iter_jsonl(path)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -97,19 +113,40 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     on_round = (
         (lambda progress: print(progress.describe())) if args.progress else None
     )
+    sink = None
+    if args.store:
+        import shutil
+
+        from repro.store import StoreSink, Warehouse
+
+        staging = Path(args.store) / ".staging" / "serial"
+        sink = StoreSink(
+            Warehouse(staging),
+            segment_records=args.segment_records,
+            metrics=metrics,
+        )
     store = _run_instrumented(
         Campaign(
             network=world.network,
             vantages=vantages,
             targets=targets,
             config=config,
+            store=sink,
             recorder=recorder,
             on_round_complete=on_round,
         ),
         metrics,
     )
-    count = store.save_jsonl(args.output)
-    print(f"wrote {count} records to {args.output}")
+    if sink is not None:
+        warehouse = Warehouse.build_canonical(
+            [sink.close()], args.store, segment_records=args.segment_records
+        )
+        shutil.rmtree(Path(args.store) / ".staging", ignore_errors=True)
+        print(f"wrote {len(warehouse)} records to warehouse {args.store}")
+        print(warehouse.describe())
+    else:
+        count = store.save_jsonl(args.output)
+        print(f"wrote {count} records to {args.output}")
     if recorder is not None:
         spans = recorder.save_jsonl(args.trace)
         print(f"wrote {spans} spans to {args.trace}")
@@ -117,9 +154,14 @@ def _cmd_measure(args: argparse.Namespace) -> int:
         metrics.save_json(args.metrics)
         print(f"wrote metrics to {args.metrics}")
     if args.faults:
-        from repro.analysis.availability import availability_report
+        if sink is not None:
+            from repro.store import availability_from_aggregates
 
-        availability = availability_report(store)
+            availability = availability_from_aggregates(warehouse.aggregates())
+        else:
+            from repro.analysis.availability import availability_report
+
+            availability = availability_report(store)
         print(availability.describe())
     return 0
 
@@ -181,29 +223,45 @@ def _measure_parallel(args: argparse.Namespace) -> int:
         fault_plan=fault_plan,
         collect_spans=bool(args.trace),
         collect_metrics=bool(args.metrics),
+        store_dir=args.store or None,
+        segment_records=args.segment_records,
     )
     print(run.describe())
     if args.progress:
         for result in run.shard_results:
             print(
                 f"  shard {result.shard_index} [{result.shard_key}]: "
-                f"{len(result.records)} records, {result.wall_seconds:.2f}s"
+                f"{result.record_count} records, {result.wall_seconds:.2f}s"
             )
-    written = export_parallel_run(
-        run,
-        args.output,
-        spans_path=args.trace or None,
-        metrics_path=args.metrics or None,
-    )
-    print(f"wrote {written['records']} records to {args.output}")
-    if args.trace:
-        print(f"wrote {written['spans']} spans to {args.trace}")
-    if args.metrics:
-        print(f"wrote metrics to {args.metrics}")
+    if run.warehouse is not None:
+        print(f"wrote {len(run.warehouse)} records to warehouse {args.store}")
+        if args.trace:
+            spans = run.spans.save_jsonl(args.trace)
+            print(f"wrote {spans} spans to {args.trace}")
+        if args.metrics:
+            run.metrics.save_json(args.metrics)
+            print(f"wrote metrics to {args.metrics}")
+    else:
+        written = export_parallel_run(
+            run,
+            args.output,
+            spans_path=args.trace or None,
+            metrics_path=args.metrics or None,
+        )
+        print(f"wrote {written['records']} records to {args.output}")
+        if args.trace:
+            print(f"wrote {written['spans']} spans to {args.trace}")
+        if args.metrics:
+            print(f"wrote metrics to {args.metrics}")
     if args.faults:
-        from repro.analysis.availability import availability_report
+        if run.warehouse is not None:
+            from repro.store import availability_from_aggregates
 
-        print(availability_report(run.store).describe())
+            print(availability_from_aggregates(run.warehouse.aggregates()).describe())
+        else:
+            from repro.analysis.availability import availability_report
+
+            print(availability_report(run.store).describe())
     return 0
 
 
@@ -248,8 +306,15 @@ def _cmd_report(args: argparse.Namespace) -> int:
         metrics.save_json(args.metrics)
         print(f"wrote metrics to {args.metrics}")
     if args.output and report.store is not None:
-        report.store.save_jsonl(args.output)
-        print(f"wrote {len(report.store)} records to {args.output}")
+        out = Path(args.output)
+        if out.is_dir() or args.output.endswith(("/", "\\")):
+            from repro.store import Warehouse
+
+            warehouse = Warehouse.from_records(report.store.records, out)
+            print(f"wrote {len(warehouse)} records to warehouse {out}")
+        else:
+            report.store.save_jsonl(args.output)
+            print(f"wrote {len(report.store)} records to {args.output}")
     return 0 if report.holds_count == len(report.claims) else 1
 
 
@@ -286,7 +351,11 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.experiments.campaigns import HOME_VANTAGE_NAMES, run_study
     from repro.experiments.world import build_world
 
-    if args.input:
+    if args.input and Path(args.input).is_dir():
+        from repro.store import Warehouse
+
+        store = Warehouse.open(args.input)
+    elif args.input:
         store = ResultStore.load_jsonl(args.input)
     else:
         world = build_world(seed=args.seed)
@@ -307,28 +376,87 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_correlate(args: argparse.Namespace) -> int:
-    from repro.analysis.correlation import latency_correlation
+    from repro.analysis.correlation import latency_correlations_from_records
 
-    store = ResultStore.load_jsonl(args.input)
-    vantages = args.vantage or sorted({record.vantage for record in store})
-    for vantage in vantages:
-        try:
-            print(latency_correlation(store, vantage).describe())
-        except Exception as exc:  # thin data for this vantage
-            print(f"{vantage}: {exc}")
+    # One streaming pass: the input (JSONL file or warehouse directory) is
+    # never loaded whole into memory.
+    correlations = latency_correlations_from_records(
+        _record_stream(args.input), vantages=args.vantage or None
+    )
+    for vantage, outcome in correlations.items():
+        if isinstance(outcome, Exception):  # thin data for this vantage
+            print(f"{vantage}: {outcome}")
+        else:
+            print(outcome.describe())
     return 0
 
 
 def _cmd_drift(args: argparse.Namespace) -> int:
-    from repro.analysis.longitudinal import drift_reports_over_time
+    from repro.analysis.longitudinal import drift_reports_from_records
 
-    store = ResultStore.load_jsonl(args.input)
-    reports = drift_reports_over_time(store, vantage=args.vantage)
+    reports = drift_reports_from_records(
+        _record_stream(args.input), vantage=args.vantage
+    )
     stable = True
     for report in reports:
         print(report.describe())
         stable = stable and not report.drifted
     return 0 if stable else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    """``store`` — inspect, compact or summarize a results warehouse."""
+    from repro.store import Warehouse, response_time_summaries
+
+    warehouse = Warehouse.open(args.store_dir)
+    if args.action == "info":
+        info = warehouse.info()
+        print(warehouse.describe())
+        print(f"  segment size: {info['segment_records']} records")
+        print(f"  groups: {info['groups']} (vantage x resolver x transport)")
+        print(f"  vantages: {', '.join(info['vantages'])}")
+        return 0
+    if args.action == "compact":
+        before = warehouse.info()
+        warehouse.compact(segment_records=args.segment_records)
+        after = warehouse.info()
+        print(
+            f"compacted {after['records']} records: "
+            f"{before['segments']} -> {after['segments']} segments, "
+            f"canonical={after['canonical']}"
+        )
+        return 0
+    # summarize: availability + response-time tables straight from the
+    # persisted aggregates — no record scan.
+    from repro.store import (
+        availability_from_aggregates,
+        per_resolver_availability_from_aggregates,
+    )
+
+    book = warehouse.aggregates()
+    availability = availability_from_aggregates(book, vantage=args.vantage)
+    print(availability.describe())
+    print()
+    rates = per_resolver_availability_from_aggregates(book, vantage=args.vantage)
+    summaries = response_time_summaries(book, vantage=args.vantage)
+    header = ("resolver", "avail", "n", "mean", "p50", "p95", "p99")
+    rows = []
+    for resolver in sorted(rates):
+        summary = summaries.get(resolver)
+        rows.append(
+            (
+                resolver,
+                f"{rates[resolver]:.1%}",
+                str(summary.count) if summary else "0",
+                f"{summary.mean_ms:.1f}" if summary else "-",
+                f"{summary.p50_ms:.1f}" if summary else "-",
+                f"{summary.p95_ms:.1f}" if summary else "-",
+                f"{summary.p99_ms:.1f}" if summary else "-",
+            )
+        )
+    print(render_table(header, rows))
+    print(f"{len(rows)} resolvers (served from aggregates, no record scan)")
+    return 0
 
 
 def _cmd_stamp(args: argparse.Namespace) -> int:
@@ -463,6 +591,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_measure.add_argument("--seed", type=int, default=0)
     p_measure.add_argument("--output", default="results.jsonl")
     p_measure.add_argument(
+        "--store", metavar="DIR",
+        help="stream records into a results warehouse at DIR instead of "
+             "writing --output JSONL; bounded memory, canonical segments, "
+             "aggregates persisted alongside (see the 'store' subcommand)",
+    )
+    p_measure.add_argument(
+        "--segment-records", type=int, default=4096, metavar="N",
+        help="records per warehouse segment for --store (default: 4096)",
+    )
+    p_measure.add_argument(
         "--attempts", type=int, default=1,
         help="total tries per query (retries with exponential backoff)",
     )
@@ -512,7 +650,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--home-rounds", type=int, default=12)
     p_report.add_argument("--ec2-rounds", type=int, default=10)
     p_report.add_argument("--seed", type=int, default=0)
-    p_report.add_argument("--output", help="also write raw records (JSONL)")
+    p_report.add_argument(
+        "--output",
+        help="also write raw records: a JSONL file, or a results warehouse "
+             "when the path is an existing directory (or ends with a "
+             "path separator)",
+    )
     p_report.add_argument(
         "--phases", action="store_true",
         help="print the phase-attribution tables (establishment vs query)",
@@ -529,7 +672,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_figure = sub.add_parser("figure", help="render a paper figure")
     p_figure.add_argument("figure", choices=["figure1", "figure2", "figure3", "figure4"])
-    p_figure.add_argument("--input", help="JSONL results to analyse (else simulate)")
+    p_figure.add_argument(
+        "--input",
+        help="results to analyse: JSONL file or warehouse directory "
+             "(else simulate)",
+    )
     p_figure.add_argument("--rounds", type=int, default=8)
     p_figure.add_argument("--seed", type=int, default=0)
     p_figure.add_argument("--ping", action="store_true", help="include ping rows")
@@ -537,14 +684,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_figure.set_defaults(func=_cmd_figure)
 
     p_corr = sub.add_parser("correlate", help="ping-vs-DNS relationship from saved results")
-    p_corr.add_argument("--input", required=True, help="JSONL results")
+    p_corr.add_argument(
+        "--input", required=True,
+        help="JSONL results or warehouse directory (streamed)",
+    )
     p_corr.add_argument("--vantage", nargs="*", help="vantage names (default: all)")
     p_corr.set_defaults(func=_cmd_correlate)
 
     p_drift = sub.add_parser("drift", help="longitudinal drift from saved results")
-    p_drift.add_argument("--input", required=True, help="JSONL results with >= 2 campaigns")
+    p_drift.add_argument(
+        "--input", required=True,
+        help="JSONL results or warehouse directory with >= 2 campaigns (streamed)",
+    )
     p_drift.add_argument("--vantage", help="restrict to one vantage")
     p_drift.set_defaults(func=_cmd_drift)
+
+    p_store = sub.add_parser("store", help="inspect or compact a results warehouse")
+    p_store.add_argument(
+        "action", choices=["info", "compact", "summarize"],
+        help="info: manifest + layout; compact: rewrite in canonical order; "
+             "summarize: availability/response-time tables from aggregates",
+    )
+    p_store.add_argument("store_dir", help="warehouse directory (from measure --store)")
+    p_store.add_argument(
+        "--segment-records", type=int, default=None, metavar="N",
+        help="new segment size for compact (default: keep current)",
+    )
+    p_store.add_argument("--vantage", help="restrict summarize to one vantage")
+    p_store.set_defaults(func=_cmd_store)
 
     p_stamp = sub.add_parser("stamp", help="DNS stamp for a resolver (or decode one)")
     p_stamp.add_argument("resolver", help="catalog hostname, or an sdns:// URI with --decode")

@@ -11,7 +11,19 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Union,
+    runtime_checkable,
+)
+
+from repro.errors import ResultsFormatError
 
 
 @dataclass
@@ -63,8 +75,40 @@ class MeasurementRecord:
 
     @classmethod
     def from_json(cls, line: str) -> "MeasurementRecord":
-        data = json.loads(line)
-        return cls(**data)
+        return cls.parse_line(line)
+
+    @classmethod
+    def parse_line(
+        cls,
+        line: str,
+        source: Optional[Union[str, Path]] = None,
+        line_number: Optional[int] = None,
+    ) -> "MeasurementRecord":
+        """Parse one JSONL line into a record.
+
+        A malformed or truncated line raises
+        :class:`~repro.errors.ResultsFormatError` naming ``source`` and the
+        1-based ``line_number`` (when given) instead of leaking an
+        anonymous ``json.JSONDecodeError`` without file context.
+        """
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise ValueError(
+                    f"expected a JSON object, got {type(data).__name__}"
+                )
+            return cls(**data)
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            location = ""
+            if source is not None:
+                location = f" in {source}"
+                if line_number is not None:
+                    location += f", line {line_number}"
+            elif line_number is not None:
+                location = f" at line {line_number}"
+            raise ResultsFormatError(
+                f"malformed measurement record{location}: {exc}"
+            ) from exc
 
 
 class ResultStore:
@@ -172,9 +216,52 @@ class ResultStore:
     @classmethod
     def load_jsonl(cls, path: Union[str, Path]) -> "ResultStore":
         store = cls()
-        with Path(path).open("r", encoding="utf-8") as handle:
-            for line in handle:
+        store.extend(cls.iter_jsonl(path))
+        return store
+
+    @classmethod
+    def iter_jsonl(cls, path: Union[str, Path]) -> Iterator[MeasurementRecord]:
+        """Stream records from a JSONL file without materializing a store.
+
+        Analysis passes that only need one record at a time (the CLI
+        ``correlate`` and ``drift`` subcommands) read month-long result
+        files through this with O(1) record memory.  Malformed lines raise
+        :class:`~repro.errors.ResultsFormatError` with file and line.
+        """
+        path = Path(path)
+        with path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if line:
-                    store.add(MeasurementRecord.from_json(line))
-        return store
+                    yield MeasurementRecord.parse_line(
+                        line, source=path, line_number=line_number
+                    )
+
+
+@runtime_checkable
+class RecordSource(Protocol):
+    """What analysis needs from a collection of measurement records.
+
+    Implemented by :class:`ResultStore` (in-memory) and by
+    :class:`repro.store.Warehouse` (on-disk, streaming with predicate
+    pushdown), so every table/figure builder accepts either
+    interchangeably.
+    """
+
+    def __iter__(self) -> Iterator[MeasurementRecord]: ...
+
+    def __len__(self) -> int: ...
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        vantage: Optional[str] = None,
+        resolver: Optional[str] = None,
+        transport: Optional[str] = None,
+        success: Optional[bool] = None,
+        predicate: Optional[Callable[[MeasurementRecord], bool]] = None,
+    ) -> List[MeasurementRecord]: ...
+
+    def durations_ms(self, **criteria) -> List[float]: ...
+
+    def by_resolver(self, **criteria) -> Dict[str, List[MeasurementRecord]]: ...

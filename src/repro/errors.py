@@ -152,6 +152,20 @@ class CampaignConfigError(MeasurementError):
     """A measurement campaign was configured inconsistently."""
 
 
+class ResultsFormatError(MeasurementError):
+    """A results file failed to parse (malformed or truncated record).
+
+    Raised instead of an anonymous ``json.JSONDecodeError`` when a JSONL
+    results file or a warehouse segment contains a line that is not a
+    valid :class:`~repro.core.results.MeasurementRecord`; the message
+    names the file and the 1-based line number.
+    """
+
+
+class StoreError(MeasurementError):
+    """A results warehouse was misused (missing manifest, double ingest)."""
+
+
 class CatalogError(ReproError):
     """Raised for unknown resolvers or malformed catalog entries."""
 

@@ -230,13 +230,18 @@ def run_campaign_parallel(
     fault_plan: Optional[FaultPlan] = None,
     collect_spans: bool = False,
     collect_metrics: bool = False,
+    store_dir: Optional[str] = None,
+    segment_records: int = 4096,
 ) -> ParallelRun:
     """Run one campaign sharded across workers and merge the artifacts.
 
     ``workers=1`` is the serial reference execution of the same shard
     plan; any higher worker count reproduces it byte for byte.  Each
     shard runs on a fresh world built from ``world_seed``, so results
-    depend only on the plan — see :mod:`repro.parallel`.
+    depend only on the plan — see :mod:`repro.parallel`.  With
+    ``store_dir`` the run streams into a results warehouse instead of
+    RAM (see :mod:`repro.store`); the warehouse is byte-identical for
+    any worker count.
     """
     tasks = plan_campaign(
         config,
@@ -249,7 +254,9 @@ def run_campaign_parallel(
         collect_spans=collect_spans,
         collect_metrics=collect_metrics,
     )
-    return run_parallel(tasks, workers=workers)
+    return run_parallel(
+        tasks, workers=workers, store_dir=store_dir, segment_records=segment_records
+    )
 
 
 def run_study_parallel(
@@ -262,6 +269,8 @@ def run_study_parallel(
     shards: Optional[int] = None,
     collect_spans: bool = False,
     collect_metrics: bool = False,
+    store_dir: Optional[str] = None,
+    segment_records: int = 4096,
 ) -> ParallelRun:
     """The home + EC2 study as one sharded run over a shared worker pool.
 
@@ -299,7 +308,12 @@ def run_study_parallel(
         )
     if not plans:
         raise CampaignConfigError("study needs home_rounds > 0 or ec2_rounds > 0")
-    return run_parallel(chain_tasks(*plans), workers=workers)
+    return run_parallel(
+        chain_tasks(*plans),
+        workers=workers,
+        store_dir=store_dir,
+        segment_records=segment_records,
+    )
 
 
 def run_fault_study_parallel(

@@ -107,6 +107,47 @@ class Histogram:
             cumulative += bucket_count
         return self.max
 
+    # -- mergeable state ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless JSON-friendly dump (raw bucket counts, not quantiles)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, dump: Dict[str, Any]) -> "Histogram":
+        histogram = cls(tuple(dump["bounds"]))
+        histogram.merge_dict(dump)
+        return histogram
+
+    def merge_dict(self, dump: Dict[str, Any]) -> None:
+        """Fold one :meth:`to_dict` dump into this histogram.
+
+        Fixed-bucket histograms compose exactly by adding counts, which is
+        why per-shard and per-segment summaries merge into whole-run
+        quantile estimates identical to a single-pass computation.
+        """
+        if self.bounds != tuple(dump["bounds"]):
+            raise ValueError("cannot merge histograms with differing bucket bounds")
+        for index, count in enumerate(dump["counts"]):
+            self.counts[index] += count
+        self.count += dump["count"]
+        self.total += dump["total"]
+        if dump["min"] is not None:
+            self.min = dump["min"] if self.min is None else min(self.min, dump["min"])
+        if dump["max"] is not None:
+            self.max = dump["max"] if self.max is None else max(self.max, dump["max"])
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram (same bounds) into this one."""
+        self.merge_dict(other.to_dict())
+
     @property
     def p50(self) -> Optional[float]:
         return self.quantile(0.50)
@@ -213,15 +254,7 @@ class MetricsRegistry:
             "counters": {k: self._counters[k].value for k in sorted(self._counters)},
             "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
             "histograms": {
-                k: {
-                    "bounds": list(h.bounds),
-                    "counts": list(h.counts),
-                    "count": h.count,
-                    "total": h.total,
-                    "min": h.min,
-                    "max": h.max,
-                }
-                for k, h in sorted(self._histograms.items())
+                k: h.to_dict() for k, h in sorted(self._histograms.items())
             },
         }
 
@@ -248,25 +281,12 @@ class MetricsRegistry:
             histogram = self._histograms.get(key)
             if histogram is None:
                 histogram = self._histograms[key] = Histogram(tuple(dump["bounds"]))
-            if histogram.bounds != tuple(dump["bounds"]):
+            try:
+                histogram.merge_dict(dump)
+            except ValueError:
                 raise ValueError(
                     f"histogram {key!r}: cannot merge differing bucket bounds"
-                )
-            for index, count in enumerate(dump["counts"]):
-                histogram.counts[index] += count
-            histogram.count += dump["count"]
-            histogram.total += dump["total"]
-            for bound_name in ("min", "max"):
-                theirs = dump[bound_name]
-                if theirs is None:
-                    continue
-                ours = getattr(histogram, bound_name)
-                if ours is None:
-                    setattr(histogram, bound_name, theirs)
-                elif bound_name == "min":
-                    histogram.min = min(ours, theirs)
-                else:
-                    histogram.max = max(ours, theirs)
+                ) from None
 
     @classmethod
     def from_states(

@@ -28,7 +28,7 @@ any ``workers=N`` of the same plan reproduces it byte for byte.
 
 from repro.core.seeding import derive_rng, derive_seed, stable_hash64
 from repro.parallel.executor import ShardResult, ShardTask, execute_shard
-from repro.parallel.merge import merge_shard_results
+from repro.parallel.merge import merge_shard_results, merge_shard_warehouses
 from repro.parallel.runner import (
     ParallelRun,
     chain_tasks,
@@ -50,6 +50,7 @@ __all__ = [
     "derive_seed",
     "execute_shard",
     "merge_shard_results",
+    "merge_shard_warehouses",
     "partition",
     "plan_campaign",
     "run_parallel",

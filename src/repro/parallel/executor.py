@@ -62,6 +62,12 @@ class ShardTask:
     collect_spans: bool = False
     collect_metrics: bool = False
     warm_caches: bool = True
+    #: When set, the shard streams records into its own staging warehouse
+    #: under this directory (``<store_staging_dir>/shard-NNNN``) instead of
+    #: returning them in RAM; the merge step k-way merges the staging
+    #: warehouses into the canonical store.
+    store_staging_dir: Optional[str] = None
+    segment_records: int = 4096
 
     @classmethod
     def from_shard(
@@ -73,6 +79,8 @@ class ShardTask:
         collect_spans: bool = False,
         collect_metrics: bool = False,
         warm_caches: bool = True,
+        store_staging_dir: Optional[str] = None,
+        segment_records: int = 4096,
     ) -> "ShardTask":
         if shard.round_stop > config.schedule.rounds:
             raise CampaignConfigError(
@@ -94,6 +102,8 @@ class ShardTask:
             collect_spans=collect_spans,
             collect_metrics=collect_metrics,
             warm_caches=warm_caches,
+            store_staging_dir=store_staging_dir,
+            segment_records=segment_records,
         )
 
 
@@ -107,11 +117,19 @@ class ShardResult:
     spans: List[Span]
     metrics_state: Optional[dict]
     wall_seconds: float
+    #: Staging warehouse path when the shard streamed to disk; ``records``
+    #: is empty in that mode.
+    warehouse_path: Optional[str] = None
+    record_count: int = -1
+
+    def __post_init__(self) -> None:
+        if self.record_count < 0:
+            self.record_count = len(self.records)
 
     def describe(self) -> str:
         return (
             f"shard[{self.shard_index}] {self.shard_key}: "
-            f"{len(self.records)} records, {len(self.spans)} spans, "
+            f"{self.record_count} records, {len(self.spans)} spans, "
             f"{self.wall_seconds:.2f}s"
         )
 
@@ -156,7 +174,23 @@ def execute_shard(task: ShardTask) -> ShardResult:
     )
     recorder = SpanCollector() if task.collect_spans else NULL_RECORDER
     metrics = MetricsRegistry(enabled=task.collect_metrics)
-    store = ResultStore()
+    warehouse_path: Optional[str] = None
+    if task.store_staging_dir is not None:
+        # Stream records to a per-shard staging warehouse instead of
+        # holding them in RAM; the merge step k-way merges the stagings.
+        from pathlib import Path
+
+        from repro.store import StoreSink, Warehouse
+
+        staging_root = Path(task.store_staging_dir) / f"shard-{task.shard_index:04d}"
+        store = StoreSink(
+            Warehouse(staging_root),
+            segment_records=task.segment_records,
+            metrics=metrics,
+        )
+        warehouse_path = str(staging_root)
+    else:
+        store = ResultStore()
     # Install both ambiently so the protocol layers (netsim, tlssim,
     # httpsim, quicsim) report into the shard's own registry; the
     # sequential fallback restores the previous ambient pair on exit.
@@ -170,12 +204,17 @@ def execute_shard(task: ShardTask) -> ShardResult:
             recorder=recorder,
             metrics=metrics,
         ).run()
+    record_count = len(store)
+    if warehouse_path is not None:
+        store.close()
 
     return ShardResult(
         shard_index=task.shard_index,
         shard_key=task.shard_key,
-        records=store.records,
+        records=store.records if isinstance(store, ResultStore) else [],
         spans=recorder.spans if isinstance(recorder, SpanCollector) else [],
         metrics_state=metrics.to_state() if task.collect_metrics else None,
         wall_seconds=time.perf_counter() - started,
+        warehouse_path=warehouse_path,
+        record_count=record_count,
     )

@@ -19,7 +19,9 @@ workers produced the results:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import shutil
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
 
 from repro.core.results import ResultStore
 from repro.errors import CampaignConfigError
@@ -56,6 +58,42 @@ def merge_shard_results(
     metrics = MetricsRegistry.from_states(states, enabled=bool(states))
 
     return store, spans, metrics
+
+
+def merge_shard_warehouses(
+    results: Sequence[ShardResult],
+    dest: Union[str, Path],
+    segment_records: int = 4096,
+    cleanup: bool = True,
+):
+    """K-way merge shard staging warehouses into one canonical warehouse.
+
+    The store-backed twin of :func:`merge_shard_results`: every result
+    must carry a ``warehouse_path`` (shards ran with a staging dir set).
+    Because each staging segment is internally sorted and
+    :meth:`repro.store.Warehouse.build_canonical` rewrites with fixed
+    rotation, the destination bytes depend only on the record multiset —
+    the same warehouse emerges for any worker count.  ``cleanup`` removes
+    the staging warehouses afterwards.
+    """
+    from repro.store import Warehouse
+
+    ordered = sorted(results, key=lambda result: result.shard_index)
+    indices = [result.shard_index for result in ordered]
+    if len(set(indices)) != len(indices):
+        raise CampaignConfigError(f"duplicate shard indices in merge: {indices}")
+    missing = [r.shard_key for r in ordered if r.warehouse_path is None]
+    if missing:
+        raise CampaignConfigError(
+            f"shards without staging warehouses in store merge: {missing}"
+        )
+
+    sources = [Warehouse.open(result.warehouse_path) for result in ordered]
+    merged = Warehouse.build_canonical(sources, dest, segment_records)
+    if cleanup:
+        for source in sources:
+            shutil.rmtree(source.root, ignore_errors=True)
+    return merged
 
 
 def coverage_triples(results: Sequence[ShardResult]) -> List[Tuple[str, str, int]]:

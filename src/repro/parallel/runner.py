@@ -16,7 +16,9 @@ sequential fallback instead of failing, with a note on the result.
 from __future__ import annotations
 
 import os
+import shutil
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.results import ResultStore
@@ -24,7 +26,7 @@ from repro.core.runner import CampaignConfig
 from repro.errors import CampaignConfigError
 from repro.obs import MetricsRegistry, SpanCollector
 from repro.parallel.executor import ShardResult, ShardTask, execute_shard
-from repro.parallel.merge import merge_shard_results
+from repro.parallel.merge import merge_shard_results, merge_shard_warehouses
 from repro.parallel.shard import Shard, partition
 
 
@@ -41,6 +43,15 @@ class ParallelRun:
     fallback_reason: Optional[str] = None
     wall_seconds: float = 0.0
     shard_wall_seconds: Dict[str, float] = field(default_factory=dict)
+    #: The canonical warehouse when the run streamed to disk (``store_dir``
+    #: was set); ``store`` is empty in that mode.
+    warehouse: Optional[object] = None
+
+    @property
+    def record_count(self) -> int:
+        if self.warehouse is not None:
+            return len(self.warehouse)
+        return len(self.store)
 
     def describe(self) -> str:
         mode = (
@@ -49,10 +60,13 @@ class ParallelRun:
             else "sequential"
             + (f" [{self.fallback_reason}]" if self.fallback_reason else "")
         )
+        sink = (
+            f" -> warehouse {self.warehouse.root}" if self.warehouse is not None else ""
+        )
         return (
             f"parallel run: {len(self.shard_results)} shards via {mode}, "
-            f"{len(self.store)} records, {len(self.spans)} spans, "
-            f"{self.wall_seconds:.2f}s wall"
+            f"{self.record_count} records, {len(self.spans)} spans, "
+            f"{self.wall_seconds:.2f}s wall{sink}"
         )
 
 
@@ -67,12 +81,16 @@ def plan_campaign(
     collect_spans: bool = False,
     collect_metrics: bool = False,
     warm_caches: bool = True,
+    store_staging_dir: Optional[str] = None,
+    segment_records: int = 4096,
 ) -> List[ShardTask]:
     """Shard one campaign into executable tasks.
 
     The shard plan is a pure function of the arguments, so every process
     that plans the same campaign derives the same tasks — the planner
-    never needs to ship the plan to workers out of band.
+    never needs to ship the plan to workers out of band.  When
+    ``store_staging_dir`` is set every shard streams its records into a
+    staging warehouse under it instead of returning them in RAM.
     """
     shard_list: List[Shard] = partition(
         vantage_names,
@@ -91,6 +109,8 @@ def plan_campaign(
             collect_spans=collect_spans,
             collect_metrics=collect_metrics,
             warm_caches=warm_caches,
+            store_staging_dir=store_staging_dir,
+            segment_records=segment_records,
         )
         for shard in shard_list
     ]
@@ -132,6 +152,8 @@ def _run_pooled(tasks: Sequence[ShardTask], workers: int) -> List[ShardResult]:
 def run_parallel(
     tasks: Sequence[ShardTask],
     workers: int = 1,
+    store_dir: Optional[str] = None,
+    segment_records: int = 4096,
 ) -> ParallelRun:
     """Execute shard tasks and merge their results.
 
@@ -139,13 +161,28 @@ def run_parallel(
     counts use a process pool, falling back to sequential execution — with
     the reason recorded on the result — when worker processes cannot be
     started on this platform.
+
+    With ``store_dir`` set, every shard streams its records into a
+    staging warehouse under ``<store_dir>/.staging`` (tasks are rewritten
+    accordingly) and the merge step k-way merges the stagings into a
+    canonical warehouse at ``store_dir`` — byte-identical for any worker
+    count, since the output depends only on the record multiset.
     """
     import time
+    from dataclasses import replace as dc_replace
 
     if not tasks:
         raise CampaignConfigError("no shard tasks to run")
     if workers < 1:
         raise CampaignConfigError(f"worker count {workers!r} must be >= 1")
+    if store_dir is not None:
+        staging = str(Path(store_dir) / ".staging")
+        tasks = [
+            dc_replace(
+                task, store_staging_dir=staging, segment_records=segment_records
+            )
+            for task in tasks
+        ]
 
     started = time.perf_counter()
     pool_used = False
@@ -162,7 +199,17 @@ def run_parallel(
             fallback_reason = f"process pool unavailable: {exc}"
             results = _run_sequential(tasks)
 
-    store, spans, metrics = merge_shard_results(results)
+    warehouse = None
+    if store_dir is not None:
+        warehouse = merge_shard_warehouses(
+            results, store_dir, segment_records=segment_records
+        )
+        shutil.rmtree(Path(store_dir) / ".staging", ignore_errors=True)
+        store, spans, metrics = merge_shard_results(
+            [dc_replace(result, records=[]) for result in results]
+        )
+    else:
+        store, spans, metrics = merge_shard_results(results)
     return ParallelRun(
         store=store,
         spans=spans,
@@ -175,6 +222,7 @@ def run_parallel(
         shard_wall_seconds={
             result.shard_key: result.wall_seconds for result in results
         },
+        warehouse=warehouse,
     )
 
 

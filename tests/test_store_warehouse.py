@@ -1,0 +1,437 @@
+"""Unit tests for the results warehouse (repro.store).
+
+Covers the segment format, sink rotation and bounded buffering, sidecar
+predicate pushdown, the RecordSource protocol parity against ResultStore,
+incremental aggregates, canonical builds (partition-independence), and
+compaction.  Campaign-scale golden-master equivalence lives in
+``test_store_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.results import MeasurementRecord, ResultStore
+from repro.errors import StoreError
+from repro.store import (
+    AggregateBook,
+    SegmentIndex,
+    StoreSink,
+    Warehouse,
+    availability_from_aggregates,
+    merge_key,
+    per_resolver_availability_from_aggregates,
+    response_time_summaries,
+)
+
+
+def make_record(
+    i: int,
+    vantage: str = "v1",
+    resolver: str = "r1",
+    kind: str = "dns_query",
+    transport: str = "doh",
+    success: bool = True,
+    campaign: str = "camp",
+) -> MeasurementRecord:
+    return MeasurementRecord(
+        campaign=campaign,
+        vantage=vantage,
+        resolver=resolver,
+        kind=kind,
+        transport=transport,
+        domain="example.com" if kind != "ping" else None,
+        round_index=i // 4,
+        started_at_ms=float(i) * 10.0,
+        duration_ms=5.0 + (i % 7) if success else None,
+        success=success,
+        error_class=None if success else "connect_timeout",
+        attempts=1 + (i % 2),
+    )
+
+
+def make_fleet(n: int = 40):
+    """A deterministic mixed-record fleet across 2 vantages x 3 resolvers."""
+    records = []
+    for i in range(n):
+        vantage = f"v{i % 2 + 1}"
+        resolver = f"r{i % 3 + 1}"
+        kind = "ping" if i % 5 == 0 else "dns_query"
+        transport = "icmp" if kind == "ping" else ("dot" if i % 4 == 0 else "doh")
+        success = i % 6 != 0
+        records.append(
+            make_record(i, vantage, resolver, kind, transport, success)
+        )
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Sink: rotation, bounded buffer, refusal to clobber
+# ---------------------------------------------------------------------------
+
+
+def test_sink_rotates_segments_and_bounds_buffer(tmp_path):
+    records = make_fleet(40)
+    sink = StoreSink(Warehouse(tmp_path / "wh"), segment_records=8)
+    sink.extend(records)
+    assert len(sink) == 40
+    assert sink.buffer_high_water_mark <= 8
+    warehouse = sink.close()
+    manifest = warehouse.manifest()
+    assert manifest["records"] == 40
+    assert manifest["canonical"] is False
+    assert len(manifest["segments"]) == 5
+    assert manifest["campaigns"] == ["camp"]
+    # Every segment is internally sorted by the merge key.
+    for index in warehouse.segment_indexes():
+        segment_records = list(
+            __import__("repro.store.segment", fromlist=["iter_segment"]).iter_segment(
+                warehouse.segments_dir / index.segment_filename, index=index
+            )
+        )
+        keys = [merge_key(r) for r in segment_records]
+        assert keys == sorted(keys)
+
+
+def test_sink_refuses_existing_warehouse(tmp_path):
+    sink = StoreSink(Warehouse(tmp_path / "wh"), segment_records=4)
+    sink.add(make_record(0))
+    sink.close()
+    with pytest.raises(StoreError):
+        StoreSink(Warehouse(tmp_path / "wh"), segment_records=4)
+
+
+def test_sink_close_is_idempotent_and_add_after_close_raises(tmp_path):
+    sink = StoreSink(Warehouse(tmp_path / "wh"), segment_records=4)
+    sink.add(make_record(0))
+    warehouse = sink.close()
+    assert sink.close() is warehouse
+    with pytest.raises(StoreError):
+        sink.add(make_record(1))
+
+
+def test_sink_reports_ingest_metrics(tmp_path):
+    from repro.obs import MetricsRegistry
+
+    metrics = MetricsRegistry(enabled=True)
+    sink = StoreSink(Warehouse(tmp_path / "wh"), segment_records=8, metrics=metrics)
+    sink.extend(make_fleet(20))
+    sink.close()
+    counters = metrics.to_state()["counters"]
+    gauges = metrics.to_state()["gauges"]
+    assert counters["store.ingest_records"] == 20
+    assert counters["store.ingest_flushes"] == 3  # 8 + 8 + 4
+    assert counters["store.ingest_seconds"] > 0
+    assert gauges["store.segments"] == 3
+    assert gauges["store.buffer_hwm"] <= 8
+
+
+# ---------------------------------------------------------------------------
+# Sidecar indexes and predicate pushdown
+# ---------------------------------------------------------------------------
+
+
+def test_sidecar_index_contents_and_round_trip(tmp_path):
+    records = make_fleet(16)
+    sink = StoreSink(Warehouse(tmp_path / "wh"), segment_records=16)
+    sink.extend(records)
+    warehouse = sink.close()
+    (index,) = warehouse.segment_indexes()
+    assert index.records == 16
+    assert index.round_min == min(r.round_index for r in records)
+    assert index.round_max == max(r.round_index for r in records)
+    assert sum(len(offsets) for offsets in index.groups.values()) == 16
+    # The sidecar survives a save/load round trip exactly.
+    reloaded = SegmentIndex.from_dict(
+        json.loads(json.dumps(index.to_dict()))
+    )
+    assert reloaded.groups == index.groups
+    assert reloaded.byte_size == index.byte_size
+
+
+def test_pushdown_skips_segments_without_matching_groups(tmp_path):
+    # Two vantages land in strictly alternating segments when ingested
+    # pre-sorted per vantage.
+    v1 = [make_record(i, vantage="v1") for i in range(8)]
+    v2 = [make_record(i, vantage="v2") for i in range(8)]
+    sink = StoreSink(Warehouse(tmp_path / "wh"), segment_records=8)
+    sink.extend(v1)  # flushes exactly one v1-only segment
+    sink.extend(v2)
+    warehouse = sink.close()
+
+    stats: dict = {}
+    got = list(warehouse.iter_records(vantage="v2", scan_stats=stats))
+    assert len(got) == 8
+    assert all(r.vantage == "v2" for r in got)
+    assert stats["segments_skipped"] == 1
+    assert stats["segments_scanned"] == 1
+
+
+def test_pushdown_offsets_return_exactly_the_matching_records(tmp_path):
+    records = make_fleet(24)
+    sink = StoreSink(Warehouse(tmp_path / "wh"), segment_records=6)
+    sink.extend(records)
+    warehouse = sink.close()
+    expected = sorted(
+        (r for r in records if r.vantage == "v1" and r.resolver == "r2"),
+        key=merge_key,
+    )
+    got = sorted(
+        warehouse.iter_records(vantage="v1", resolver="r2"), key=merge_key
+    )
+    assert got == expected
+
+
+# ---------------------------------------------------------------------------
+# RecordSource parity with ResultStore
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def parity(tmp_path):
+    records = make_fleet(48)
+    store = ResultStore()
+    store.extend(records)
+    warehouse = Warehouse.from_records(records, tmp_path / "wh", segment_records=10)
+    return store, warehouse
+
+
+def test_len_and_iteration_parity(parity):
+    store, warehouse = parity
+    assert len(warehouse) == len(store)
+    assert sorted((r.to_json() for r in warehouse)) == sorted(
+        r.to_json() for r in store
+    )
+
+
+def test_filter_parity(parity):
+    store, warehouse = parity
+    for criteria in (
+        {"kind": "dns_query"},
+        {"vantage": "v1"},
+        {"resolver": "r3", "success": True},
+        {"kind": "dns_query", "transport": "dot"},
+        {"success": False},
+        {"predicate": lambda r: r.round_index > 5},
+    ):
+        assert sorted(
+            (r.to_json() for r in warehouse.filter(**criteria))
+        ) == sorted(r.to_json() for r in store.filter(**criteria))
+
+
+def test_durations_and_by_resolver_parity(parity):
+    store, warehouse = parity
+    assert sorted(warehouse.durations_ms(kind="dns_query")) == sorted(
+        store.durations_ms(kind="dns_query")
+    )
+    wh_grouped = warehouse.by_resolver(kind="dns_query", vantage="v2")
+    st_grouped = store.by_resolver(kind="dns_query", vantage="v2")
+    assert set(wh_grouped) == set(st_grouped)
+    for resolver in st_grouped:
+        assert sorted(r.to_json() for r in wh_grouped[resolver]) == sorted(
+            r.to_json() for r in st_grouped[resolver]
+        )
+
+
+def test_analysis_accepts_warehouse_as_record_source(parity):
+    from repro.analysis.availability import availability_report
+    from repro.analysis.response_times import resolver_medians
+
+    store, warehouse = parity
+    assert availability_report(warehouse).describe() == availability_report(
+        store
+    ).describe()
+    assert resolver_medians(warehouse) == resolver_medians(store)
+
+
+# ---------------------------------------------------------------------------
+# Aggregates: online == recomputed, and the served tables match scans
+# ---------------------------------------------------------------------------
+
+
+def test_persisted_aggregates_equal_full_recomputation(tmp_path):
+    records = make_fleet(60)
+    warehouse = Warehouse.from_records(records, tmp_path / "wh", segment_records=16)
+    persisted = warehouse.aggregates()
+    recomputed = AggregateBook.from_records(sorted(records, key=merge_key))
+    assert persisted.to_dict() == recomputed.to_dict()
+
+
+def test_availability_from_aggregates_equals_scan(tmp_path):
+    from repro.analysis.availability import (
+        availability_report,
+        per_resolver_availability,
+    )
+
+    records = make_fleet(60)
+    store = ResultStore()
+    store.extend(records)
+    warehouse = Warehouse.from_records(records, tmp_path / "wh", segment_records=16)
+    book = warehouse.aggregates()
+
+    from_scan = availability_report(store)
+    from_book = availability_from_aggregates(book)
+    assert from_book.successes == from_scan.successes
+    assert from_book.errors == from_scan.errors
+    assert from_book.error_breakdown == from_scan.error_breakdown
+    assert (
+        from_book.connection_establishment_share
+        == from_scan.connection_establishment_share
+    )
+    assert per_resolver_availability_from_aggregates(
+        book
+    ) == per_resolver_availability(store)
+
+
+def test_response_time_summaries_equal_scan_built_histograms(tmp_path):
+    from repro.obs.metrics import Histogram
+
+    records = make_fleet(60)
+    warehouse = Warehouse.from_records(records, tmp_path / "wh", segment_records=16)
+    book = warehouse.aggregates()
+    summaries = response_time_summaries(book)
+
+    for resolver, summary in summaries.items():
+        scan = Histogram(book.bounds)
+        for r in records:
+            if (
+                r.kind == "dns_query"
+                and r.resolver == resolver
+                and r.success
+                and r.duration_ms is not None
+            ):
+                scan.observe(r.duration_ms)
+        assert summary.count == scan.count
+        assert summary.mean_ms == scan.mean
+        assert summary.p50_ms == scan.p50
+        assert summary.p95_ms == scan.p95
+        assert summary.p99_ms == scan.p99
+
+
+# ---------------------------------------------------------------------------
+# Canonical builds: partition-independent bytes
+# ---------------------------------------------------------------------------
+
+
+def _tree_bytes(root):
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
+
+
+def test_canonical_build_is_partition_independent(tmp_path):
+    records = make_fleet(50)
+
+    # Partition A: one staging warehouse holding everything.
+    sink = StoreSink(Warehouse(tmp_path / "a0"), segment_records=7)
+    sink.extend(records)
+    whole = sink.close()
+    merged_a = Warehouse.build_canonical([whole], tmp_path / "A", segment_records=12)
+
+    # Partition B: three interleaved staging warehouses.
+    parts = []
+    for k in range(3):
+        sink = StoreSink(Warehouse(tmp_path / f"b{k}"), segment_records=5)
+        sink.extend(records[k::3])
+        parts.append(sink.close())
+    merged_b = Warehouse.build_canonical(parts, tmp_path / "B", segment_records=12)
+
+    assert _tree_bytes(merged_a.root) == _tree_bytes(merged_b.root)
+    assert merged_a.manifest()["canonical"] is True
+    ordered = [r.to_json() for r in merged_a.iter_sorted()]
+    assert ordered == [r.to_json() for r in sorted(records, key=merge_key)]
+
+
+def test_canonical_build_refuses_existing_destination(tmp_path):
+    records = make_fleet(10)
+    Warehouse.from_records(records, tmp_path / "wh")
+    with pytest.raises(StoreError):
+        Warehouse.from_records(records, tmp_path / "wh")
+
+
+def test_compact_preserves_records_and_canonicalizes(tmp_path):
+    records = make_fleet(40)
+    sink = StoreSink(Warehouse(tmp_path / "wh"), segment_records=6)
+    sink.extend(records)
+    warehouse = sink.close()
+    assert warehouse.manifest()["canonical"] is False
+
+    warehouse.compact(segment_records=16)
+    assert warehouse.manifest()["canonical"] is True
+    assert [r.to_json() for r in warehouse.iter_sorted()] == [
+        r.to_json() for r in sorted(records, key=merge_key)
+    ]
+    # Compacting a canonical warehouse is byte-stable.
+    before = _tree_bytes(warehouse.root)
+    warehouse.compact()
+    assert _tree_bytes(warehouse.root) == before
+
+
+def test_open_missing_warehouse_raises(tmp_path):
+    with pytest.raises(StoreError):
+        Warehouse.open(tmp_path / "nope")
+
+
+# ---------------------------------------------------------------------------
+# CLI integration: store subcommand + streamed correlate/drift inputs
+# ---------------------------------------------------------------------------
+
+
+def test_cli_store_info_and_summarize(tmp_path, capsys):
+    from repro.cli import main
+
+    records = make_fleet(40)
+    Warehouse.from_records(records, tmp_path / "wh", segment_records=16)
+    assert main(["store", "info", str(tmp_path / "wh")]) == 0
+    out = capsys.readouterr().out
+    assert "40 records" in out
+    assert "canonical" in out
+
+    assert main(["store", "summarize", str(tmp_path / "wh")]) == 0
+    out = capsys.readouterr().out
+    assert "served from aggregates" in out
+    assert "r1" in out
+
+
+def test_cli_store_compact(tmp_path, capsys):
+    from repro.cli import main
+
+    sink = StoreSink(Warehouse(tmp_path / "wh"), segment_records=6)
+    sink.extend(make_fleet(40))
+    sink.close()
+    assert main(["store", "compact", str(tmp_path / "wh")]) == 0
+    assert "canonical=True" in capsys.readouterr().out
+
+
+def test_cli_correlate_accepts_warehouse_directory(tmp_path, capsys):
+    from repro.cli import main
+
+    # Give every resolver enough pings and DNS samples for correlation.
+    records = []
+    i = 0
+    for resolver in ("r1", "r2", "r3", "r4"):
+        for _ in range(6):
+            records.append(make_record(i, "v1", resolver, "dns_query", "doh"))
+            records.append(make_record(i + 1, "v1", resolver, "ping", "icmp"))
+            i += 2
+    Warehouse.from_records(records, tmp_path / "wh", segment_records=16)
+    assert main(["correlate", "--input", str(tmp_path / "wh")]) == 0
+    assert "v1:" in capsys.readouterr().out
+
+
+def test_cli_drift_accepts_warehouse_directory(tmp_path, capsys):
+    from repro.cli import main
+
+    records = []
+    for j, campaign in enumerate(("base", "later")):
+        for i in range(24):
+            record = make_record(i, "v1", f"r{i % 3 + 1}", campaign=campaign)
+            record.started_at_ms += j * 1_000_000.0
+            records.append(record)
+    Warehouse.from_records(records, tmp_path / "wh", segment_records=16)
+    assert main(["drift", "--input", str(tmp_path / "wh")]) == 0
+    assert "later vs base" in capsys.readouterr().out
