@@ -82,6 +82,9 @@ def summarize(values: Sequence[float]) -> BoxplotStats:
     whisker_low = in_fence[0] if in_fence else ordered[0]
     whisker_high = in_fence[-1] if in_fence else ordered[-1]
     outliers = len(ordered) - len(in_fence)
+    # fsum + clamp: float addition can drift the mean a ULP outside
+    # [min, max] for near-identical samples, breaking ordering invariants.
+    mean = min(max(math.fsum(ordered) / len(ordered), ordered[0]), ordered[-1])
     return BoxplotStats(
         count=len(ordered),
         minimum=ordered[0],
@@ -92,7 +95,7 @@ def summarize(values: Sequence[float]) -> BoxplotStats:
         whisker_low=whisker_low,
         whisker_high=whisker_high,
         outliers=outliers,
-        mean=sum(ordered) / len(ordered),
+        mean=mean,
     )
 
 

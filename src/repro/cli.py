@@ -8,10 +8,17 @@ Subcommands:
 * ``report``  — run the full study and print the paper-vs-measured claim
   table plus Tables 2/3;
 * ``figure``  — render one of the paper's figures as ASCII boxplots;
+* ``monitor`` — evaluate SLOs over saved results (JSONL or warehouse),
+  emitting alerts, verdicts and a resolver health scoreboard;
+* ``metrics`` — export a saved metrics JSON file as Prometheus text;
 * ``trace``   — run a small traced campaign and export phase-level spans
   (JSONL) and/or a text span tree;
 * ``query``   — issue a single DoH query from a vantage point and print a
   dig-style response.
+
+Interactive chatter (progress lines, fault-plan notes, monitor status)
+goes to stderr; stdout carries only the primary output of each command,
+so pipelines like ``repro-dns monitor wh/ --alerts - | jq .`` stay clean.
 """
 
 from __future__ import annotations
@@ -44,6 +51,45 @@ def _record_stream(path: str) -> Iterator:
     from repro.core.results import ResultStore
 
     return ResultStore.iter_jsonl(path)
+
+
+def _status(message: str) -> None:
+    """Interactive chatter: stderr, never stdout."""
+    print(message, file=sys.stderr)
+
+
+def _load_policy(spec: Optional[str]):
+    """An SLO policy from ``--slo``: a TOML/JSON path, or ``default``."""
+    from repro.monitor import SloPolicy, default_policy
+
+    if spec is None or spec == "default":
+        return default_policy()
+    return SloPolicy.load(spec)
+
+
+def _write_alert_artifacts(monitor, alerts_dir: str) -> None:
+    """Write alerts.jsonl + scoreboard.txt + verdicts.json under a directory."""
+    import json as _json
+
+    directory = Path(alerts_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    monitor.alerts.save_jsonl(directory / "alerts.jsonl")
+    (directory / "scoreboard.txt").write_text(
+        monitor.scoreboard().render() + "\n", encoding="utf-8"
+    )
+    (directory / "verdicts.json").write_text(
+        _json.dumps(
+            [verdict.to_dict() for verdict in monitor.verdicts()],
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    _status(
+        f"wrote {len(monitor.alerts)} alerts, scoreboard and "
+        f"{len(monitor.verdicts())} verdicts to {directory}"
+    )
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -104,15 +150,20 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             [world.deployments[target.hostname] for target in targets],
             plan,
         )
-        print(f"armed fault plan: {plan.describe()}")
-        print(f"injector: {injector.describe()}")
+        _status(f"armed fault plan: {plan.describe()}")
+        _status(f"injector: {injector.describe()}")
     recorder = SpanCollector() if args.trace else None
     metrics = (
         MetricsRegistry(enabled=True) if (args.metrics or args.progress) else None
     )
     on_round = (
-        (lambda progress: print(progress.describe())) if args.progress else None
+        (lambda progress: _status(progress.describe())) if args.progress else None
     )
+    monitor = None
+    if args.slo or args.alerts:
+        from repro.monitor import Monitor
+
+        monitor = Monitor(_load_policy(args.slo))
     sink = None
     if args.store:
         import shutil
@@ -133,10 +184,13 @@ def _cmd_measure(args: argparse.Namespace) -> int:
             config=config,
             store=sink,
             recorder=recorder,
+            monitor=monitor,
             on_round_complete=on_round,
         ),
         metrics,
     )
+    if monitor is not None:
+        monitor.finalize(metrics)
     if sink is not None:
         warehouse = Warehouse.build_canonical(
             [sink.close()], args.store, segment_records=args.segment_records
@@ -153,6 +207,10 @@ def _cmd_measure(args: argparse.Namespace) -> int:
     if args.metrics and metrics is not None:
         metrics.save_json(args.metrics)
         print(f"wrote metrics to {args.metrics}")
+    if monitor is not None:
+        if args.alerts:
+            _write_alert_artifacts(monitor, args.alerts)
+        print(monitor.scoreboard().render())
     if args.faults:
         if sink is not None:
             from repro.store import availability_from_aggregates
@@ -210,8 +268,9 @@ def _measure_parallel(args: argparse.Namespace) -> int:
             seed=args.fault_seed,
             config=FaultPlanConfig(impaired_time_fraction=args.fault_fraction),
         )
-        print(f"armed fault plan: {fault_plan.describe()}")
+        _status(f"armed fault plan: {fault_plan.describe()}")
 
+    slo_policy = _load_policy(args.slo) if (args.slo or args.alerts) else None
     run = run_campaign_parallel(
         config,
         args.vantage,
@@ -225,11 +284,12 @@ def _measure_parallel(args: argparse.Namespace) -> int:
         collect_metrics=bool(args.metrics),
         store_dir=args.store or None,
         segment_records=args.segment_records,
+        slo_policy=slo_policy,
     )
-    print(run.describe())
+    _status(run.describe())
     if args.progress:
         for result in run.shard_results:
-            print(
+            _status(
                 f"  shard {result.shard_index} [{result.shard_key}]: "
                 f"{result.record_count} records, {result.wall_seconds:.2f}s"
             )
@@ -253,6 +313,10 @@ def _measure_parallel(args: argparse.Namespace) -> int:
             print(f"wrote {written['spans']} spans to {args.trace}")
         if args.metrics:
             print(f"wrote metrics to {args.metrics}")
+    if run.monitor is not None:
+        if args.alerts:
+            _write_alert_artifacts(run.monitor, args.alerts)
+        print(run.monitor.scoreboard().render())
     if args.faults:
         if run.warehouse is not None:
             from repro.store import availability_from_aggregates
@@ -459,6 +523,108 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """``monitor`` — SLO evaluation over saved results.
+
+    Replays the input (JSONL file or warehouse directory) through the
+    streaming monitor, reproducing exactly the alerts a live-monitored
+    run of those records would have raised, and prints the health
+    scoreboard.  ``--from-aggregates`` skips the record replay and
+    evaluates final verdicts straight from the warehouse's persisted
+    aggregates (no alerts in that mode — windows need the record stream).
+    """
+    import json as _json
+
+    from repro.monitor import Monitor, Scoreboard, verdicts_from_book
+
+    policy = _load_policy(args.slo)
+
+    if args.from_aggregates:
+        if not Path(args.input).is_dir():
+            print(
+                "--from-aggregates needs a warehouse directory input",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.store import Warehouse
+
+        book = Warehouse.open(args.input).aggregates()
+        verdicts = verdicts_from_book(book, policy)
+        scoreboard = Scoreboard.from_verdicts(verdicts)
+        monitor = None
+        _status(
+            f"evaluated {len(verdicts)} verdicts from persisted aggregates "
+            f"({len(book)} groups, no record scan)"
+        )
+    else:
+        monitor = Monitor(policy)
+        monitor.replay(_record_stream(args.input))
+        monitor.finalize()
+        verdicts = monitor.verdicts()
+        scoreboard = monitor.scoreboard()
+        _status(
+            f"replayed {monitor.records_seen} records: "
+            f"{len(monitor.alerts)} alerts, {len(verdicts)} verdicts"
+        )
+
+    if args.alerts and monitor is not None:
+        if args.alerts == "-":
+            # Alert JSONL owns stdout; the scoreboard moves to stderr.
+            sys.stdout.write(monitor.alerts.to_jsonl())
+        else:
+            monitor.alerts.save_jsonl(args.alerts)
+            _status(f"wrote {len(monitor.alerts)} alerts to {args.alerts}")
+    if args.verdicts:
+        Path(args.verdicts).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.verdicts).write_text(
+            _json.dumps([v.to_dict() for v in verdicts], indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        _status(f"wrote {len(verdicts)} verdicts to {args.verdicts}")
+
+    table = scoreboard.render()
+    if args.alerts == "-":
+        _status(table)
+    else:
+        print(table)
+    counts = scoreboard.counts()
+    _status(
+        f"scoreboard: {counts['OK']} ok, {counts['DEGRADED']} degraded, "
+        f"{counts['FAILING']} failing"
+    )
+    if args.gate and scoreboard.worst_state() != "OK":
+        _status(f"gate: worst state {scoreboard.worst_state()} -> failing")
+        return 1
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """``metrics export`` — Prometheus text from a saved metrics JSON file.
+
+    Accepts both a lossless state dump (``save_state_json``: full
+    histogram buckets) and a snapshot (``--metrics``/``save_json``:
+    quantile estimates, exposed as summaries).
+    """
+    import json as _json
+
+    from repro.obs.metrics import exposition_from_dump
+
+    try:
+        data = _json.loads(Path(args.input).read_text(encoding="utf-8"))
+        text = exposition_from_dump(data)
+    except (OSError, ValueError) as exc:
+        print(f"unreadable metrics file {args.input}: {exc}", file=sys.stderr)
+        return 2
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(text, encoding="utf-8")
+        _status(f"wrote {len(text.splitlines())} exposition lines to {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def _cmd_stamp(args: argparse.Namespace) -> int:
     from repro.catalog.resolvers import entry_for
     from repro.catalog.stamps import decode_stamp, doh_stamp, encode_stamp
@@ -626,7 +792,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_measure.add_argument(
         "--progress", action="store_true",
-        help="print one structured line per completed round",
+        help="print one structured line per completed round (to stderr)",
+    )
+    p_measure.add_argument(
+        "--slo", metavar="FILE",
+        help="monitor the campaign live against an SLO policy (TOML/JSON "
+             "file, or the literal 'default' for paper-derived baselines); "
+             "prints the health scoreboard after the run",
+    )
+    p_measure.add_argument(
+        "--alerts", metavar="DIR",
+        help="write monitoring artifacts (alerts.jsonl, scoreboard.txt, "
+             "verdicts.json) under DIR; implies --slo default if --slo "
+             "is not given",
     )
     p_measure.add_argument(
         "--workers", type=int, default=None, metavar="N",
@@ -712,6 +890,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_store.add_argument("--vantage", help="restrict summarize to one vantage")
     p_store.set_defaults(func=_cmd_store)
+
+    p_monitor = sub.add_parser(
+        "monitor", help="evaluate SLOs over saved results; alerts + scoreboard"
+    )
+    p_monitor.add_argument(
+        "input", help="JSONL results file or warehouse directory"
+    )
+    p_monitor.add_argument(
+        "--slo", metavar="FILE",
+        help="SLO policy (TOML/JSON file; default: paper-derived baselines)",
+    )
+    p_monitor.add_argument(
+        "--alerts", metavar="PATH",
+        help="write the alert JSONL to PATH, or '-' for stdout (the "
+             "scoreboard then moves to stderr, keeping stdout pure JSONL)",
+    )
+    p_monitor.add_argument(
+        "--verdicts", metavar="PATH", help="write the verdicts JSON to PATH"
+    )
+    p_monitor.add_argument(
+        "--from-aggregates", action="store_true",
+        help="evaluate verdicts from the warehouse's persisted aggregates "
+             "without replaying records (warehouse input only; no alerts)",
+    )
+    p_monitor.add_argument(
+        "--gate", action="store_true",
+        help="exit non-zero when any resolver is DEGRADED or FAILING",
+    )
+    p_monitor.set_defaults(func=_cmd_monitor)
+
+    p_metrics = sub.add_parser(
+        "metrics", help="export saved metrics as Prometheus text"
+    )
+    metrics_sub = p_metrics.add_subparsers(dest="metrics_command", required=True)
+    p_metrics_export = metrics_sub.add_parser(
+        "export", help="Prometheus text exposition of a metrics JSON file"
+    )
+    p_metrics_export.add_argument(
+        "--input", required=True,
+        help="metrics JSON: a state dump (full buckets) or a snapshot",
+    )
+    p_metrics_export.add_argument(
+        "--output", help="write the exposition to a file instead of stdout"
+    )
+    p_metrics_export.set_defaults(func=_cmd_metrics)
 
     p_stamp = sub.add_parser("stamp", help="DNS stamp for a resolver (or decode one)")
     p_stamp.add_argument("resolver", help="catalog hostname, or an sdns:// URI with --decode")

@@ -27,7 +27,13 @@ from repro.core.seeding import derive_rng
 from repro.core.vantage import VantagePoint
 from repro.errors import CampaignConfigError
 from repro.netsim.network import Network
-from repro.obs import MetricsRegistry, SpanRecorder, get_metrics, get_recorder
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    get_metrics,
+    get_monitor,
+    get_recorder,
+)
 
 #: Error classes a retry can plausibly help with: transient network and
 #: connection-establishment conditions.  Protocol-level failures (bad
@@ -162,6 +168,7 @@ class Campaign:
         store: Optional[ResultStore] = None,
         recorder: Optional[SpanRecorder] = None,
         metrics: Optional[MetricsRegistry] = None,
+        monitor: Optional[object] = None,
         on_round_complete: Optional[Callable[[RoundProgress], None]] = None,
     ) -> None:
         if not vantages:
@@ -174,12 +181,15 @@ class Campaign:
         self.config = config
         self.store = store if store is not None else ResultStore()
         self.on_round_complete = on_round_complete
-        # Explicit recorder/metrics win; otherwise the ambient ones are
-        # picked up at run() time (so ``with tracing():`` wraps run()).
+        # Explicit recorder/metrics/monitor win; otherwise the ambient
+        # ones are picked up at run() time (so ``with tracing():`` wraps
+        # run()).
         self._recorder = recorder
         self._metrics = metrics
+        self._monitor = monitor
         self._active_recorder: SpanRecorder = get_recorder()
         self._active_metrics: MetricsRegistry = get_metrics()
+        self._active_monitor: Optional[object] = None
         self._campaign_span = 0
         self._round_spans: Dict[int, int] = {}
         self._round_outstanding: Dict[int, int] = {}
@@ -194,6 +204,9 @@ class Campaign:
         metrics = self._metrics if self._metrics is not None else get_metrics()
         self._active_recorder = recorder
         self._active_metrics = metrics
+        self._active_monitor = (
+            self._monitor if self._monitor is not None else get_monitor()
+        )
         if recorder.enabled:
             self._campaign_span = recorder.begin(
                 "campaign",
@@ -422,32 +435,33 @@ class Campaign:
         attempts: int = 1,
         kind: str = "dns_query",
     ) -> None:
-        self.store.add(
-            MeasurementRecord(
-                campaign=self.config.name,
-                vantage=vantage.name,
-                resolver=target.hostname,
-                kind=kind,
-                transport=self.config.transport,
-                domain=domain,
-                round_index=round_index,
-                started_at_ms=started_at,
-                duration_ms=outcome.duration_ms,
-                success=outcome.success,
-                error_class=outcome.error_class.value if outcome.error_class else None,
-                rcode=outcome.rcode,
-                http_status=outcome.http_status,
-                http_version=outcome.http_version,
-                tls_version=outcome.tls_version,
-                response_size=outcome.response_size,
-                connection_reused=outcome.connection_reused,
-                attempts=attempts,
-                connect_ms=outcome.connect_ms,
-                tls_ms=outcome.tls_ms,
-                query_ms=outcome.query_ms,
-                failed_phase=outcome.failed_phase,
-            )
+        record = MeasurementRecord(
+            campaign=self.config.name,
+            vantage=vantage.name,
+            resolver=target.hostname,
+            kind=kind,
+            transport=self.config.transport,
+            domain=domain,
+            round_index=round_index,
+            started_at_ms=started_at,
+            duration_ms=outcome.duration_ms,
+            success=outcome.success,
+            error_class=outcome.error_class.value if outcome.error_class else None,
+            rcode=outcome.rcode,
+            http_status=outcome.http_status,
+            http_version=outcome.http_version,
+            tls_version=outcome.tls_version,
+            response_size=outcome.response_size,
+            connection_reused=outcome.connection_reused,
+            attempts=attempts,
+            connect_ms=outcome.connect_ms,
+            tls_ms=outcome.tls_ms,
+            query_ms=outcome.query_ms,
+            failed_phase=outcome.failed_phase,
         )
+        self.store.add(record)
+        if self._active_monitor is not None:
+            self._active_monitor.observe(record)
         if kind == "dns_query" and not outcome.success:
             self._errors_total += 1
         metrics = self._active_metrics
@@ -475,21 +489,22 @@ class Campaign:
         started_at: float,
         outcome: ProbeOutcome,
     ) -> None:
-        self.store.add(
-            MeasurementRecord(
-                campaign=self.config.name,
-                vantage=vantage.name,
-                resolver=target.hostname,
-                kind="ping",
-                transport="icmp",
-                domain=None,
-                round_index=round_index,
-                started_at_ms=started_at,
-                duration_ms=outcome.duration_ms,
-                success=outcome.success,
-                error_class=outcome.error_class.value if outcome.error_class else None,
-            )
+        record = MeasurementRecord(
+            campaign=self.config.name,
+            vantage=vantage.name,
+            resolver=target.hostname,
+            kind="ping",
+            transport="icmp",
+            domain=None,
+            round_index=round_index,
+            started_at_ms=started_at,
+            duration_ms=outcome.duration_ms,
+            success=outcome.success,
+            error_class=outcome.error_class.value if outcome.error_class else None,
         )
+        self.store.add(record)
+        if self._active_monitor is not None:
+            self._active_monitor.observe(record)
         if not outcome.success:
             self._errors_total += 1
         metrics = self._active_metrics

@@ -166,6 +166,11 @@ class StoreError(MeasurementError):
     """A results warehouse was misused (missing manifest, double ingest)."""
 
 
+class MonitorConfigError(MeasurementError):
+    """An SLO policy or monitor configuration is invalid (bad threshold,
+    unknown objective kind, malformed policy file)."""
+
+
 class CatalogError(ReproError):
     """Raised for unknown resolvers or malformed catalog entries."""
 

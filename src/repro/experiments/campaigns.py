@@ -232,6 +232,7 @@ def run_campaign_parallel(
     collect_metrics: bool = False,
     store_dir: Optional[str] = None,
     segment_records: int = 4096,
+    slo_policy: Optional[object] = None,
 ) -> ParallelRun:
     """Run one campaign sharded across workers and merge the artifacts.
 
@@ -241,7 +242,9 @@ def run_campaign_parallel(
     depend only on the plan — see :mod:`repro.parallel`.  With
     ``store_dir`` the run streams into a results warehouse instead of
     RAM (see :mod:`repro.store`); the warehouse is byte-identical for
-    any worker count.
+    any worker count.  With ``slo_policy`` (a
+    :class:`repro.monitor.SloPolicy`) the merged canonical stream is
+    replayed through a monitor — see :func:`repro.parallel.run_parallel`.
     """
     tasks = plan_campaign(
         config,
@@ -255,7 +258,11 @@ def run_campaign_parallel(
         collect_metrics=collect_metrics,
     )
     return run_parallel(
-        tasks, workers=workers, store_dir=store_dir, segment_records=segment_records
+        tasks,
+        workers=workers,
+        store_dir=store_dir,
+        segment_records=segment_records,
+        slo_policy=slo_policy,
     )
 
 
@@ -271,6 +278,7 @@ def run_study_parallel(
     collect_metrics: bool = False,
     store_dir: Optional[str] = None,
     segment_records: int = 4096,
+    slo_policy: Optional[object] = None,
 ) -> ParallelRun:
     """The home + EC2 study as one sharded run over a shared worker pool.
 
@@ -313,6 +321,7 @@ def run_study_parallel(
         workers=workers,
         store_dir=store_dir,
         segment_records=segment_records,
+        slo_policy=slo_policy,
     )
 
 

@@ -1,0 +1,265 @@
+"""Alert events, the JSONL audit log, verdicts and the health scoreboard.
+
+Alerts are plain frozen dataclasses ordered by a canonical sort key built
+purely from record fields (virtual times, group identity, objective
+names), so two runs that observed the same measurements export the same
+JSONL bytes regardless of arrival interleaving across groups or shards.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.analysis.render import render_table
+from repro.errors import ResultsFormatError
+
+#: Scoreboard states, from healthy to broken.
+HEALTH_STATES = ("OK", "DEGRADED", "FAILING")
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One monitoring state transition, with the evidence that drove it."""
+
+    campaign: str
+    vantage: str
+    resolver: str
+    transport: str
+    slo: str
+    detector: str
+    severity: str
+    status: str  # "firing" | "resolved"
+    round_index: int
+    at_ms: float
+    window: Dict[str, Any] = field(default_factory=dict)
+    evidence: Dict[str, Any] = field(default_factory=dict)
+
+    def sort_key(self) -> Tuple:
+        return (
+            self.campaign,
+            self.round_index,
+            self.at_ms,
+            self.vantage,
+            self.resolver,
+            self.transport,
+            self.slo,
+            self.detector,
+            self.status,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "campaign": self.campaign,
+            "vantage": self.vantage,
+            "resolver": self.resolver,
+            "transport": self.transport,
+            "slo": self.slo,
+            "detector": self.detector,
+            "severity": self.severity,
+            "status": self.status,
+            "round_index": self.round_index,
+            "at_ms": self.at_ms,
+            "window": self.window,
+            "evidence": self.evidence,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "AlertEvent":
+        return cls(
+            campaign=data["campaign"],
+            vantage=data["vantage"],
+            resolver=data["resolver"],
+            transport=data["transport"],
+            slo=data["slo"],
+            detector=data["detector"],
+            severity=data["severity"],
+            status=data["status"],
+            round_index=data["round_index"],
+            at_ms=data["at_ms"],
+            window=dict(data.get("window", {})),
+            evidence=dict(data.get("evidence", {})),
+        )
+
+
+class AlertLog:
+    """Append-only alert collection with canonical JSONL export."""
+
+    def __init__(self) -> None:
+        self._events: List[AlertEvent] = []
+
+    def emit(self, event: AlertEvent) -> None:
+        self._events.append(event)
+
+    def extend(self, events: Iterable[AlertEvent]) -> None:
+        self._events.extend(events)
+
+    def events(self) -> List[AlertEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[AlertEvent]:
+        return iter(self._events)
+
+    def canonical_sort(self) -> None:
+        """Order events by their canonical key, dropping arrival order."""
+        self._events.sort(key=AlertEvent.sort_key)
+
+    def counts_by_severity(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.severity] = counts.get(event.severity, 0) + 1
+        return {k: counts[k] for k in sorted(counts)}
+
+    def to_jsonl(self) -> str:
+        return "".join(event.to_json() + "\n" for event in self._events)
+
+    def save_jsonl(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_jsonl(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load_jsonl(cls, path: Union[str, Path]) -> "AlertLog":
+        path = Path(path)
+        log = cls()
+        with path.open("r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    log.emit(AlertEvent.from_dict(json.loads(line)))
+                except (ValueError, KeyError, TypeError) as exc:
+                    raise ResultsFormatError(
+                        f"{path}:{number}: malformed alert line: {exc}"
+                    ) from exc
+        return log
+
+
+@dataclass(frozen=True)
+class SloVerdict:
+    """Final pass/fail of one objective for one group, over the whole run."""
+
+    slo: str
+    vantage: str
+    resolver: str
+    transport: str
+    metric: str
+    value: Optional[float]
+    threshold: float
+    passed: bool
+    severity: str
+    samples: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "slo": self.slo,
+            "vantage": self.vantage,
+            "resolver": self.resolver,
+            "transport": self.transport,
+            "metric": self.metric,
+            "value": self.value,
+            "threshold": self.threshold,
+            "passed": self.passed,
+            "severity": self.severity,
+            "samples": self.samples,
+        }
+
+
+class Scoreboard:
+    """Health state per (vantage, resolver), from verdicts and alert volume."""
+
+    def __init__(
+        self, rows: List[Dict[str, Any]], states: Dict[Tuple[str, str], str]
+    ) -> None:
+        self._rows = rows
+        self._states = states
+
+    @classmethod
+    def from_verdicts(
+        cls,
+        verdicts: Iterable[SloVerdict],
+        alerts: Optional[Iterable[AlertEvent]] = None,
+    ) -> "Scoreboard":
+        """FAILING on any failed critical objective, DEGRADED on any other
+        failed objective, OK otherwise."""
+        failed: Dict[Tuple[str, str], List[SloVerdict]] = {}
+        seen: Dict[Tuple[str, str], int] = {}
+        for verdict in verdicts:
+            key = (verdict.vantage, verdict.resolver)
+            seen[key] = seen.get(key, 0) + (0 if verdict.passed else 1)
+            failed.setdefault(key, [])
+            if not verdict.passed:
+                failed[key].append(verdict)
+        alert_counts: Dict[Tuple[str, str], int] = {}
+        for event in alerts or ():
+            if event.status != "firing":
+                continue
+            key = (event.vantage, event.resolver)
+            alert_counts[key] = alert_counts.get(key, 0) + 1
+        states: Dict[Tuple[str, str], str] = {}
+        rows: List[Dict[str, Any]] = []
+        for key in sorted(failed):
+            failures = failed[key]
+            if any(v.severity == "critical" for v in failures):
+                state = "FAILING"
+            elif failures:
+                state = "DEGRADED"
+            else:
+                state = "OK"
+            states[key] = state
+            rows.append(
+                {
+                    "vantage": key[0],
+                    "resolver": key[1],
+                    "status": state,
+                    "failed_slos": sorted({v.slo for v in failures}),
+                    "alerts": alert_counts.get(key, 0),
+                }
+            )
+        return cls(rows, states)
+
+    def rows(self) -> List[Dict[str, Any]]:
+        return [dict(row) for row in self._rows]
+
+    def status(self, vantage: str, resolver: str) -> Optional[str]:
+        return self._states.get((vantage, resolver))
+
+    def worst_state(self) -> str:
+        worst = "OK"
+        for state in self._states.values():
+            if HEALTH_STATES.index(state) > HEALTH_STATES.index(worst):
+                worst = state
+        return worst
+
+    def counts(self) -> Dict[str, int]:
+        counts = {state: 0 for state in HEALTH_STATES}
+        for state in self._states.values():
+            counts[state] += 1
+        return counts
+
+    def render(self) -> str:
+        header = ["vantage", "resolver", "status", "failed SLOs", "alerts"]
+        table_rows = [
+            [
+                row["vantage"],
+                row["resolver"],
+                row["status"],
+                ", ".join(row["failed_slos"]) or "-",
+                str(row["alerts"]),
+            ]
+            for row in self._rows
+        ]
+        return render_table(header, table_rows)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rows": self.rows(), "counts": self.counts()}

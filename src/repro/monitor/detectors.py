@@ -1,0 +1,183 @@
+"""Streaming detector state, one instance per monitored group.
+
+Everything here is pure incremental arithmetic over fields of the records
+themselves — virtual start times, durations, error classes — so feeding
+the same per-group record sequence always reproduces the same state, no
+matter which process, shard or replay pass drove it.  Memory per group is
+bounded by the window configuration: O(window records) for the rolling
+window, O(1) for the EWMA baseline and CUSUM statistic.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import quantile
+from repro.monitor.slo import CusumConfig, WindowConfig
+
+
+class RollingWindow:
+    """The most recent final DNS-query outcomes of one group.
+
+    Entries are ``(at_ms, success, duration_ms, error_class)`` tuples;
+    eviction is by the virtual-clock horizon first (``span_ms`` relative
+    to the newest entry's start time), then by the record cap, so window
+    membership is a pure function of the group's record sequence.
+    """
+
+    __slots__ = ("config", "_entries", "_successes", "_errors")
+
+    def __init__(self, config: WindowConfig) -> None:
+        self.config = config
+        self._entries: Deque[Tuple[float, bool, Optional[float], Optional[str]]] = deque()
+        self._successes = 0
+        self._errors: Counter = Counter()
+
+    def push(
+        self,
+        at_ms: float,
+        success: bool,
+        duration_ms: Optional[float],
+        error_class: Optional[str],
+    ) -> None:
+        self._entries.append((at_ms, success, duration_ms, error_class))
+        if success:
+            self._successes += 1
+        else:
+            self._errors[error_class or "unknown"] += 1
+        if self.config.span_ms is not None:
+            horizon = at_ms - self.config.span_ms
+            while self._entries and self._entries[0][0] < horizon:
+                self._evict()
+        while len(self._entries) > self.config.records:
+            self._evict()
+
+    def _evict(self) -> None:
+        _, success, _, error_class = self._entries.popleft()
+        if success:
+            self._successes -= 1
+        else:
+            self._errors[error_class or "unknown"] -= 1
+
+    # -- window reads ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def count(self) -> int:
+        return len(self._entries)
+
+    @property
+    def successes(self) -> int:
+        return self._successes
+
+    @property
+    def failures(self) -> int:
+        return len(self._entries) - self._successes
+
+    @property
+    def success_ratio(self) -> float:
+        return self._successes / len(self._entries) if self._entries else 0.0
+
+    @property
+    def span(self) -> Tuple[Optional[float], Optional[float]]:
+        """Virtual start times of the oldest and newest window entries."""
+        if not self._entries:
+            return (None, None)
+        return (self._entries[0][0], self._entries[-1][0])
+
+    def error_counts(self) -> Dict[str, int]:
+        """Per-class failure counts currently in the window (sorted keys)."""
+        return {k: self._errors[k] for k in sorted(self._errors) if self._errors[k]}
+
+    def error_share(self, classes: Sequence[str]) -> float:
+        """Share of window entries failing with one of ``classes``."""
+        if not self._entries:
+            return 0.0
+        matched = sum(self._errors[c] for c in classes)
+        return matched / len(self._entries)
+
+    def durations(self) -> List[float]:
+        """Successful durations currently in the window, in entry order."""
+        return [d for _, success, d, _ in self._entries if success and d is not None]
+
+    def latency_quantile(self, q: float) -> Optional[float]:
+        """Windowed response-time quantile over successful entries.
+
+        Uses the library's linear-interpolation quantile (the same one
+        every analysis table uses); ``None`` when the window holds no
+        successful duration.
+        """
+        values = self.durations()
+        if not values:
+            return None
+        return quantile(values, q)
+
+
+class EwmaTracker:
+    """Exponentially-weighted running mean and variance.
+
+    The variance recurrence is the standard EWMA pair
+    ``var' = (1 - a) * (var + a * delta**2)`` with ``delta = x - mean``,
+    which keeps both moments O(1) and deterministic.
+    """
+
+    __slots__ = ("alpha", "count", "mean", "_var")
+
+    def __init__(self, alpha: float) -> None:
+        self.alpha = alpha
+        self.count = 0
+        self.mean = 0.0
+        self._var = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        if self.count == 1:
+            self.mean = value
+            self._var = 0.0
+            return
+        delta = value - self.mean
+        incr = self.alpha * delta
+        self.mean += incr
+        self._var = (1.0 - self.alpha) * (self._var + delta * incr)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self._var) if self._var > 0.0 else 0.0
+
+
+class CusumDetector:
+    """One-sided CUSUM change-point detector on query time.
+
+    Each successful observation is standardized against the EWMA baseline
+    and folded into ``S = max(0, S + z - k)``; crossing ``h`` reports a
+    sustained upward latency shift and resets the statistic so a new
+    shift can be detected.  The baseline keeps adapting afterwards, which
+    is what makes a *step* fire once instead of forever.
+    """
+
+    __slots__ = ("config", "baseline", "stat", "alarms")
+
+    def __init__(self, config: CusumConfig) -> None:
+        self.config = config
+        self.baseline = EwmaTracker(config.alpha)
+        self.stat = 0.0
+        self.alarms = 0
+
+    def update(self, value: float) -> Optional[float]:
+        """Feed one observation; returns the crossing statistic on alarm."""
+        fired: Optional[float] = None
+        if self.config.enabled and self.baseline.count >= self.config.min_samples:
+            sigma = self.baseline.std
+            if sigma > 0.0:
+                z = (value - self.baseline.mean) / sigma
+                self.stat = max(0.0, self.stat + z - self.config.k)
+                if self.stat > self.config.h:
+                    fired = self.stat
+                    self.alarms += 1
+                    self.stat = 0.0
+        self.baseline.update(value)
+        return fired

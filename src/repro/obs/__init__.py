@@ -1,6 +1,6 @@
-"""Observability: span tracing and metrics for the measurement stack.
+"""Observability: span tracing, metrics and monitoring hooks.
 
-Two module-level singletons hold the *ambient* instrumentation targets:
+Three module-level singletons hold the *ambient* instrumentation targets:
 
 * the **span recorder** (default: :data:`~repro.obs.spans.NULL_RECORDER`,
   a no-op) — campaign runners and probes also accept an explicit recorder,
@@ -8,25 +8,37 @@ Two module-level singletons hold the *ambient* instrumentation targets:
 * the **metrics registry** (default: disabled) — protocol layers
   (:mod:`repro.netsim.network`, :mod:`repro.tlssim.handshake`,
   :mod:`repro.httpsim`, :mod:`repro.quicsim.connection`) report counters
-  and histograms here.
+  and histograms here;
+* the **monitor** (default: ``None``) — a
+  :class:`repro.monitor.Monitor` (or anything with an
+  ``observe(record)`` method).  The campaign runner feeds it every
+  finished :class:`~repro.core.results.MeasurementRecord` right after the
+  record is stored, giving live SLO evaluation and alerting without a
+  second pass.
 
-Use :func:`tracing` to enable both for a scoped block::
+Use :func:`tracing` to enable instrumentation for a scoped block::
 
     with tracing() as (recorder, metrics):
         Campaign(...).run()
     recorder.save_jsonl("spans.jsonl")
     print(metrics.summary())
 
-Everything is driven by the simulator's virtual clock, so enabling
-tracing never perturbs timing, scheduling or RNG draws: a traced run and
-an untraced run of the same seed produce identical measurements, and two
-traced runs produce byte-identical span exports.
+    monitor = Monitor()
+    with tracing(monitor=monitor) as (recorder, metrics):
+        Campaign(...).run()
+    monitor.finalize(metrics)  # sorted alerts + monitor.* gauges
+
+Everything is driven by the simulator's virtual clock, and all three
+hooks are pure observers — enabling them never perturbs timing,
+scheduling or RNG draws: an instrumented run and a bare run of the same
+seed produce identical measurements, and two instrumented runs produce
+byte-identical span and alert exports.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional, Tuple
+from typing import Any, Iterator, Optional, Tuple
 
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -34,6 +46,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    exposition_from_dump,
 )
 from repro.obs.spans import (
     NULL_RECORDER,
@@ -45,6 +58,7 @@ from repro.obs.spans import (
 
 _recorder: SpanRecorder = NULL_RECORDER
 _metrics: MetricsRegistry = MetricsRegistry(enabled=False)
+_monitor: Optional[Any] = None
 
 
 def get_recorder() -> SpanRecorder:
@@ -73,26 +87,46 @@ def set_metrics(metrics: Optional[MetricsRegistry]) -> MetricsRegistry:
     return previous
 
 
+def get_monitor() -> Optional[Any]:
+    """The ambient monitor, or ``None`` when no monitoring is installed."""
+    return _monitor
+
+
+def set_monitor(monitor: Optional[Any]) -> Optional[Any]:
+    """Install ``monitor`` as the ambient monitor; returns the previous one."""
+    global _monitor
+    previous = _monitor
+    _monitor = monitor
+    return previous
+
+
 @contextmanager
 def tracing(
     recorder: Optional[SpanRecorder] = None,
     metrics: Optional[MetricsRegistry] = None,
+    monitor: Optional[Any] = None,
 ) -> Iterator[Tuple[SpanRecorder, MetricsRegistry]]:
     """Install a recorder and registry for the duration of the block.
 
     Defaults to a fresh :class:`SpanCollector` and an enabled
     :class:`MetricsRegistry`; both are restored to their previous values
-    on exit and yielded so callers can export what was collected.
+    on exit and yielded so callers can export what was collected.  Pass
+    ``monitor`` to additionally install a live monitor for the block —
+    it stays in the caller's hands (it is not yielded), so finalize it
+    after the block to collect its alerts.
     """
     active_recorder = recorder if recorder is not None else SpanCollector()
     active_metrics = metrics if metrics is not None else MetricsRegistry(enabled=True)
     previous_recorder = set_recorder(active_recorder)
     previous_metrics = set_metrics(active_metrics)
+    previous_monitor = set_monitor(monitor) if monitor is not None else None
     try:
         yield active_recorder, active_metrics
     finally:
         set_recorder(previous_recorder)
         set_metrics(previous_metrics)
+        if monitor is not None:
+            set_monitor(previous_monitor)
 
 
 __all__ = [
@@ -106,9 +140,12 @@ __all__ = [
     "Span",
     "SpanCollector",
     "SpanRecorder",
+    "exposition_from_dump",
     "get_metrics",
+    "get_monitor",
     "get_recorder",
     "set_metrics",
+    "set_monitor",
     "set_recorder",
     "tracing",
 ]

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import bisect
 import json
+import math
+import re
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -166,6 +168,51 @@ def _key(name: str, labels: Dict[str, Any]) -> str:
         return name
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
+
+
+def _parse_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a registry key back into (name, labels)."""
+    if "{" not in key or not key.endswith("}"):
+        return key, {}
+    name, _, inner = key.partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner[:-1].split(","):
+        label, _, value = part.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def _prom_name(name: str) -> str:
+    """A valid Prometheus metric name (dots become underscores)."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    return "_" + sanitized if sanitized[:1].isdigit() else sanitized
+
+
+def _prom_label_name(name: str) -> str:
+    sanitized = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    return "_" + sanitized if sanitized[:1].isdigit() else sanitized
+
+
+def _prom_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for label in sorted(labels):
+        value = str(labels[label])
+        value = value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        parts.append(f'{_prom_label_name(label)}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _prom_value(value: Optional[float]) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "NaN"
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
 
 
 class MetricsRegistry:
@@ -327,6 +374,77 @@ class MetricsRegistry:
             encoding="utf-8",
         )
 
+    def save_state_json(self, path: Union[str, Path]) -> None:
+        """Persist the lossless :meth:`to_state` dump (raw buckets)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_state(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def to_prometheus(self) -> str:
+        """Prometheus text-format exposition of every metric.
+
+        Counters and gauges map directly; histograms expose the classic
+        cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+        ``_count``.  Metric and label names are sanitized to the
+        Prometheus grammar (dots become underscores); families and
+        samples are emitted in sorted order, so two registries with equal
+        state expose byte-identical text.
+        """
+        families: Dict[str, List[str]] = {}
+
+        def family(name: str, kind: str) -> List[str]:
+            prom = _prom_name(name)
+            lines = families.get(prom)
+            if lines is None:
+                lines = families[prom] = [f"# TYPE {prom} {kind}"]
+            return lines
+
+        for key in sorted(self._counters):
+            name, labels = _parse_key(key)
+            family(name, "counter").append(
+                f"{_prom_name(name)}{_prom_labels(labels)} "
+                f"{_prom_value(self._counters[key].value)}"
+            )
+        for key in sorted(self._gauges):
+            name, labels = _parse_key(key)
+            family(name, "gauge").append(
+                f"{_prom_name(name)}{_prom_labels(labels)} "
+                f"{_prom_value(self._gauges[key].value)}"
+            )
+        for key in sorted(self._histograms):
+            name, labels = _parse_key(key)
+            histogram = self._histograms[key]
+            lines = family(name, "histogram")
+            prom = _prom_name(name)
+            cumulative = 0
+            for bound, count in zip(histogram.bounds, histogram.counts):
+                cumulative += count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _prom_value(bound)
+                lines.append(
+                    f"{prom}_bucket{_prom_labels(bucket_labels)} {cumulative}"
+                )
+            inf_labels = dict(labels)
+            inf_labels["le"] = "+Inf"
+            lines.append(
+                f"{prom}_bucket{_prom_labels(inf_labels)} {histogram.count}"
+            )
+            lines.append(
+                f"{prom}_sum{_prom_labels(labels)} {_prom_value(histogram.total)}"
+            )
+            lines.append(f"{prom}_count{_prom_labels(labels)} {histogram.count}")
+        return (
+            "\n".join(
+                line for name in sorted(families) for line in families[name]
+            )
+            + "\n"
+            if families
+            else ""
+        )
+
     def summary(self) -> str:
         """Human-readable multi-line summary of all metrics."""
         lines: List[str] = []
@@ -350,3 +468,64 @@ class MetricsRegistry:
                     f"max={h.max:>9.2f}"
                 )
         return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def exposition_from_dump(data: Dict[str, Any]) -> str:
+    """Prometheus text exposition from a saved metrics JSON file.
+
+    Accepts both on-disk formats.  A :meth:`MetricsRegistry.to_state`
+    dump (raw bucket counts) rebuilds a registry and exposes full
+    histograms; a :meth:`MetricsRegistry.snapshot` dump (quantile
+    estimates only) exposes each histogram as a Prometheus *summary* —
+    quantile samples plus ``_sum``/``_count`` — since the buckets are
+    gone.
+    """
+    if not isinstance(data, dict):
+        raise ValueError(f"metrics dump must be a mapping, got {type(data).__name__}")
+    histograms = data.get("histograms", {})
+    is_state = all(
+        isinstance(dump, dict) and "counts" in dump and "bounds" in dump
+        for dump in histograms.values()
+    )
+    if is_state:
+        return MetricsRegistry.from_states([data]).to_prometheus()
+
+    families: Dict[str, List[str]] = {}
+
+    def family(name: str, kind: str) -> List[str]:
+        prom = _prom_name(name)
+        lines = families.get(prom)
+        if lines is None:
+            lines = families[prom] = [f"# TYPE {prom} {kind}"]
+        return lines
+
+    for kind, section in (("counter", "counters"), ("gauge", "gauges")):
+        for key in sorted(data.get(section, {})):
+            name, labels = _parse_key(key)
+            family(name, kind).append(
+                f"{_prom_name(name)}{_prom_labels(labels)} "
+                f"{_prom_value(data[section][key])}"
+            )
+    for key in sorted(histograms):
+        name, labels = _parse_key(key)
+        dump = histograms[key]
+        lines = family(name, "summary")
+        prom = _prom_name(name)
+        for q in ("p50", "p95", "p99"):
+            if dump.get(q) is None:
+                continue
+            q_labels = dict(labels)
+            q_labels["quantile"] = f"0.{q[1:]}"
+            lines.append(
+                f"{prom}{_prom_labels(q_labels)} {_prom_value(dump[q])}"
+            )
+        count = dump.get("count", 0)
+        mean = dump.get("mean")
+        total = mean * count if mean is not None else 0.0
+        lines.append(f"{prom}_sum{_prom_labels(labels)} {_prom_value(total)}")
+        lines.append(f"{prom}_count{_prom_labels(labels)} {count}")
+    return (
+        "\n".join(line for name in sorted(families) for line in families[name]) + "\n"
+        if families
+        else ""
+    )

@@ -46,6 +46,9 @@ class ParallelRun:
     #: The canonical warehouse when the run streamed to disk (``store_dir``
     #: was set); ``store`` is empty in that mode.
     warehouse: Optional[object] = None
+    #: A finalized :class:`repro.monitor.Monitor` when the run was given an
+    #: SLO policy; holds the alert log, verdicts and scoreboard.
+    monitor: Optional[object] = None
 
     @property
     def record_count(self) -> int:
@@ -154,6 +157,7 @@ def run_parallel(
     workers: int = 1,
     store_dir: Optional[str] = None,
     segment_records: int = 4096,
+    slo_policy: Optional[object] = None,
 ) -> ParallelRun:
     """Execute shard tasks and merge their results.
 
@@ -167,6 +171,16 @@ def run_parallel(
     accordingly) and the merge step k-way merges the stagings into a
     canonical warehouse at ``store_dir`` — byte-identical for any worker
     count, since the output depends only on the record multiset.
+
+    With ``slo_policy`` set (a :class:`repro.monitor.SloPolicy`), the
+    merged canonical record stream is replayed through a
+    :class:`repro.monitor.Monitor` after the merge — shards never monitor
+    live, so the alert log depends only on the record multiset and is
+    byte-identical for any worker count given a fixed shard plan, and
+    identical to live monitoring of a serial execution of that plan (per
+    group, live arrival order equals canonical order).  The finalized
+    monitor lands on
+    ``ParallelRun.monitor`` and its detector gauges in the merged metrics.
     """
     import time
     from dataclasses import replace as dc_replace
@@ -210,6 +224,21 @@ def run_parallel(
         )
     else:
         store, spans, metrics = merge_shard_results(results)
+
+    monitor = None
+    if slo_policy is not None:
+        from repro.monitor import Monitor, SloPolicy
+
+        if not isinstance(slo_policy, SloPolicy):
+            raise CampaignConfigError(
+                f"slo_policy must be a SloPolicy, got {type(slo_policy).__name__}"
+            )
+        monitor = Monitor(slo_policy)
+        monitor.replay(
+            warehouse.iter_sorted() if warehouse is not None else store.records
+        )
+        monitor.finalize(metrics)
+
     return ParallelRun(
         store=store,
         spans=spans,
@@ -223,6 +252,7 @@ def run_parallel(
             result.shard_key: result.wall_seconds for result in results
         },
         warehouse=warehouse,
+        monitor=monitor,
     )
 
 

@@ -663,9 +663,11 @@ class TestCliObservability:
             "--rounds", "2", "--output", str(output),
             "--progress", "--trace", str(spans_path), "--metrics", str(metrics_path),
         ])
-        out = capsys.readouterr().out
+        out, err = capsys.readouterr()
         assert code == 0
-        progress_lines = [l for l in out.splitlines() if l.startswith("progress ")]
+        # progress is chatter: it goes to stderr so stdout stays pipeable
+        assert "progress " not in out
+        progress_lines = [l for l in err.splitlines() if l.startswith("progress ")]
         assert len(progress_lines) == 2
         assert "round=0" in progress_lines[0] and "round=1" in progress_lines[1]
         assert spans_path.exists() and metrics_path.exists()
