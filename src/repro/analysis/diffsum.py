@@ -1,0 +1,83 @@
+"""Diff-report tables: per-resolver disagreement rates, per-field shares.
+
+The respdiff analogy is ``diffsum``: aggregate the per-cell diff records
+into the tables an operator reads.  All rendering is deterministic —
+rows carry total orders and rates print with fixed precision — so a diff
+summary is byte-comparable across runs, worker counts, and record
+sources.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.analysis.render import render_table
+
+
+def per_resolver_table(report) -> str:
+    """The per-resolver disagreement-rate table (worst first)."""
+    rows = []
+    for row in report.per_resolver_rows():
+        rows.append(
+            (
+                row.resolver,
+                str(row.cells),
+                str(row.agree),
+                str(row.disagree),
+                str(row.unanswered),
+                f"{row.disagreement_rate:.4f}",
+            )
+        )
+    return render_table(
+        ("Resolver", "Cells", "Agree", "Disagree", "Unanswered", "Rate"),
+        rows,
+    )
+
+
+def field_share_table(report) -> str:
+    """Which response fields carry the mismatches, as shares."""
+    rows = [
+        (field, str(count), f"{share:.4f}")
+        for field, count, share in report.field_mismatch_shares()
+    ]
+    return render_table(("Field", "Mismatches", "Share"), rows)
+
+
+def taxonomy_table(report) -> str:
+    """Disagreement classes with reproducibility verdicts."""
+    rows = [
+        (label, str(count), str(reproducible), str(transient), str(unverified))
+        for label, count, reproducible, transient, unverified in report.classification_counts()
+    ]
+    return render_table(
+        ("Class", "Count", "Reproducible", "Transient", "Unverified"),
+        rows,
+    )
+
+
+def render_diff_summary(report) -> str:
+    """The full human-readable diff report (deterministic text)."""
+    counts = report.status_counts()
+    lines = [
+        "# Cross-resolver answer differencing",
+        "",
+        (
+            f"cells={report.cell_count()} comparisons={len(report)} "
+            f"agree={counts['agree']} disagree={counts['disagree']} "
+            f"unanswered={counts['unanswered']}"
+        ),
+        "",
+        "## Per-resolver disagreement rate",
+        "",
+        per_resolver_table(report),
+        "",
+        "## Per-field mismatch share",
+        "",
+        field_share_table(report),
+        "",
+        "## Disagreement taxonomy",
+        "",
+        taxonomy_table(report),
+        "",
+    ]
+    return "\n".join(lines)

@@ -10,6 +10,9 @@ Subcommands:
 * ``figure``  — render one of the paper's figures as ASCII boxplots;
 * ``monitor`` — evaluate SLOs over saved results (JSONL or warehouse),
   emitting alerts, verdicts and a resolver health scoreboard;
+* ``diff``    — cross-resolver answer differencing: fan the same queries
+  out to every deployment (or read saved captures), diff each response
+  against the consensus and classify the disagreements;
 * ``metrics`` — export a saved metrics JSON file as Prometheus text;
 * ``trace``   — run a small traced campaign and export phase-level spans
   (JSONL) and/or a text span tree;
@@ -468,6 +471,101 @@ def _cmd_drift(args: argparse.Namespace) -> int:
     return 0 if stable else 1
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """``diff`` — cross-resolver answer differencing (respdiff-style).
+
+    Two modes: with ``--input`` the report is built from saved records
+    (JSONL file or warehouse directory, streamed); without it a
+    same-query fan-out campaign runs first, serial or sharded.  The
+    report text on stdout is deterministic — byte-identical across
+    worker counts and record sources for a fixed seed.
+    """
+    from repro.diff import AnswerFaultPlan, build_diff_report, verify_reproducibility
+    from repro.errors import DiffInputError
+    from repro.experiments.campaigns import (
+        _catalog_hostnames,
+        diff_campaign_config,
+        run_diff_campaign,
+    )
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1 (got {args.workers})", file=sys.stderr)
+        return 2
+    if args.verify < 0:
+        print(f"--verify must be >= 0 (got {args.verify})", file=sys.stderr)
+        return 2
+
+    hostnames = _catalog_hostnames(args.resolver or None)
+    config = diff_campaign_config(
+        rounds=args.rounds,
+        seed=args.seed,
+        domains=args.domain or None,
+        transport=args.transport,
+    )
+    fault_plan = None
+    if args.faults:
+        fault_plan = AnswerFaultPlan.generate(
+            hostnames,
+            list(config.domains),
+            seed=args.fault_seed,
+            per_kind=args.faults_per_kind,
+        )
+        _status(f"armed answer faults:\n{fault_plan.describe()}")
+
+    if args.input:
+        records = _record_stream(args.input)
+    else:
+        run = run_diff_campaign(
+            world_seed=args.world_seed,
+            rounds=args.rounds,
+            seed=args.seed,
+            domains=args.domain or None,
+            transport=args.transport,
+            vantage_names=args.vantage or None,
+            target_hostnames=hostnames,
+            workers=args.workers,
+            shard_by=args.shard_by,
+            shards=args.shards,
+            answer_fault_plan=fault_plan,
+            store_dir=args.store or None,
+            segment_records=args.segment_records,
+        )
+        _status(run.describe())
+        records = (
+            run.warehouse.iter_records()
+            if run.warehouse is not None
+            else run.store.records
+        )
+
+    try:
+        report = build_diff_report(records)
+    except DiffInputError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+
+    if args.verify:
+        from repro.experiments.world import build_world
+
+        world = build_world(seed=args.world_seed, warm_caches=True)
+        if fault_plan is not None:
+            # The verify world must serve the same (faulted) answers the
+            # campaign world did, or injected faults would read transient.
+            fault_plan.install(
+                world.deployments[hostname]
+                for hostname in hostnames
+                if hostname in world.deployments
+            )
+        verify_reproducibility(world, report, attempts=args.verify, seed=args.verify_seed)
+        _status(f"verified {len(report.disagreements())} disagreements "
+                f"x{args.verify} re-queries")
+
+    if args.output:
+        Path(args.output).write_text(report.to_jsonl(), encoding="utf-8")
+        _status(f"wrote {len(report)} diff records to {args.output}")
+    print(report.render(), end="")
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     """``store`` — inspect, compact or summarize a results warehouse."""
     from repro.store import Warehouse, response_time_summaries
@@ -876,6 +974,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_drift.add_argument("--vantage", help="restrict to one vantage")
     p_drift.set_defaults(func=_cmd_drift)
+
+    p_diff = sub.add_parser(
+        "diff", help="cross-resolver answer differencing (respdiff-style)"
+    )
+    p_diff.add_argument(
+        "--input", metavar="PATH",
+        help="analyse saved results (JSONL file or warehouse directory, "
+             "streamed) instead of running a campaign; records need "
+             "captured responses (measure with capture enabled)",
+    )
+    p_diff.add_argument("--rounds", type=int, default=2)
+    p_diff.add_argument("--seed", type=int, default=505, help="campaign seed")
+    p_diff.add_argument("--world-seed", type=int, default=0)
+    p_diff.add_argument(
+        "--vantage", nargs="+", default=None,
+        help="vantage names (default: the three EC2 vantages)",
+    )
+    p_diff.add_argument("--resolver", nargs="*", help="hostnames (default: all)")
+    p_diff.add_argument(
+        "--domain", nargs="*",
+        help="query domains (default: the campaign's study domains)",
+    )
+    p_diff.add_argument(
+        "--transport", choices=["doh", "dot", "doq", "do53"], default="doh",
+    )
+    p_diff.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the fan-out across N worker processes; the report is "
+             "byte-identical for any N given the same seed",
+    )
+    p_diff.add_argument(
+        "--shard-by", choices=["vantage", "resolver", "round"], default="vantage",
+    )
+    p_diff.add_argument("--shards", type=int, default=None, metavar="K")
+    p_diff.add_argument(
+        "--store", metavar="DIR",
+        help="stream campaign records into a results warehouse at DIR "
+             "(the report is then built from the warehouse)",
+    )
+    p_diff.add_argument("--segment-records", type=int, default=4096, metavar="N")
+    p_diff.add_argument(
+        "--faults", action="store_true",
+        help="inject a seeded answer-fault plan (nxdomain/servfail/rewrite/"
+             "ttl/truncate) so the taxonomy has something to classify",
+    )
+    p_diff.add_argument("--fault-seed", type=int, default=20230919)
+    p_diff.add_argument(
+        "--faults-per-kind", type=int, default=1, metavar="N",
+        help="how many (resolver, domain) cells get each fault kind",
+    )
+    p_diff.add_argument(
+        "--verify", type=int, default=0, metavar="N",
+        help="diffrepro pass: re-query each disagreement N times on a "
+             "fresh world and label it reproducible or transient",
+    )
+    p_diff.add_argument("--verify-seed", type=int, default=0)
+    p_diff.add_argument(
+        "--output", metavar="PATH",
+        help="also write the per-cell diff records as JSONL",
+    )
+    p_diff.set_defaults(func=_cmd_diff)
 
     p_store = sub.add_parser("store", help="inspect or compact a results warehouse")
     p_store.add_argument(

@@ -80,6 +80,10 @@ class ProbeOutcome:
     query_ms: Optional[float] = None
     #: The phase in flight when a failed probe gave up (None on success).
     failed_phase: Optional[str] = None
+    #: The raw DNS response message bytes, for answer differencing.  Set
+    #: whenever a well-formed response was parsed (including non-NOERROR
+    #: responses); ``None`` when the probe never got a parseable message.
+    response_wire: Optional[bytes] = None
 
     @classmethod
     def failure(cls, duration_ms: Optional[float], exc: BaseException) -> "ProbeOutcome":
@@ -398,6 +402,7 @@ class DohProbe:
             response_size=len(response.body),
             connection_reused=reused,
             answers=message.answer_addresses(),
+            response_wire=dns_wire,
         )
         shot.finish(outcome)
 
@@ -531,6 +536,7 @@ class DotProbe:
                         response_size=len(wire),
                         connection_reused=reused,
                         answers=message.answer_addresses(),
+                        response_wire=wire,
                     )
                 )
                 return
@@ -614,7 +620,7 @@ class Do53Probe:
         socket = SimUdpSocket(self.host)
         shot.add_cleanup(socket.close)
 
-        def finish_with(message: Message, size: int, via_tcp: bool) -> None:
+        def finish_with(message: Message, response_wire: bytes, via_tcp: bool) -> None:
             success = message.rcode == RCODE_NOERROR
             detail = None
             if via_tcp:
@@ -627,10 +633,11 @@ class Do53Probe:
                     success=success,
                     error_class=None if success else ErrorClass.DNS_RCODE,
                     rcode=message.rcode,
-                    response_size=size,
+                    response_size=len(response_wire),
                     connection_reused=False,
                     answers=message.answer_addresses(),
                     error_detail=detail,
+                    response_wire=response_wire,
                 )
             )
 
@@ -653,7 +660,7 @@ class Do53Probe:
                         if message.header.msg_id != query.header.msg_id:
                             clock.enter("dns_exchange")
                             continue
-                        finish_with(message, len(response_wire), via_tcp=True)
+                        finish_with(message, response_wire, via_tcp=True)
                         return
 
                 conn.on_data = on_data
@@ -682,7 +689,7 @@ class Do53Probe:
                 socket.close()
                 fallback_to_tcp()
                 return
-            finish_with(message, len(dgram.payload), via_tcp=False)
+            finish_with(message, dgram.payload, via_tcp=False)
 
         socket.on_datagram = on_datagram
         clock.enter("dns_exchange")
@@ -797,6 +804,7 @@ class DoqProbe:
                     response_size=len(messages[0]),
                     connection_reused=reused,
                     answers=message.answer_addresses(),
+                    response_wire=messages[0],
                 )
             )
 

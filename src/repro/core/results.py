@@ -69,6 +69,10 @@ class MeasurementRecord:
     #: The phase that was in flight when a failed probe gave up
     #: (``None`` for successes), attributing each error to a span.
     failed_phase: Optional[str] = None
+    #: Raw DNS response bytes, hex-encoded, captured when the campaign
+    #: runs with ``capture_responses`` for answer differencing; ``None``
+    #: otherwise (and always for pings and unanswered probes).
+    response_wire: Optional[str] = None
 
     def to_json(self) -> str:
         return json.dumps(asdict(self), separators=(",", ":"), sort_keys=True)

@@ -148,6 +148,10 @@ class CampaignConfig:
     ping: bool = True
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     seed: int = 0
+    #: Store the raw response message (hex) on each query record, enabling
+    #: cross-resolver answer differencing (``repro.diff``).  Off by default:
+    #: wire capture roughly doubles record size.
+    capture_responses: bool = False
 
     def __post_init__(self) -> None:
         if not self.domains:
@@ -458,6 +462,12 @@ class Campaign:
             tls_ms=outcome.tls_ms,
             query_ms=outcome.query_ms,
             failed_phase=outcome.failed_phase,
+            response_wire=(
+                outcome.response_wire.hex()
+                if self.config.capture_responses
+                and outcome.response_wire is not None
+                else None
+            ),
         )
         self.store.add(record)
         if self._active_monitor is not None:

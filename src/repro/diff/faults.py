@@ -1,0 +1,213 @@
+"""Seeded answer-fault plans: make chosen deployments disagree on purpose.
+
+The clean world reaches consensus everywhere, which exercises exactly one
+row of the disagreement taxonomy.  An :class:`AnswerFaultPlan` picks
+(resolver, domain) pairs with a derived RNG and installs a response
+mutator (:attr:`~repro.resolver.deployment.ResolverDeployment.response_mutator`)
+that rewrites matching responses *at the frontend*, after resolution and
+caching — so every transport of the deployment misbehaves identically and
+deterministically, and the differ must classify each fault kind back into
+the taxonomy.
+
+Plans serialize to JSON and ship to shard workers the same way
+:class:`repro.faults.FaultPlan` does, so sharded diff campaigns arm the
+exact mutators the serial campaign arms.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.core.seeding import derive_rng
+from repro.dnswire.message import Message, ResourceRecord
+from repro.dnswire.name import Name
+from repro.dnswire.rdata import ARdata
+from repro.dnswire.types import RCODE_NXDOMAIN, RCODE_SERVFAIL, TYPE_A
+from repro.errors import CampaignConfigError
+
+#: Fault kinds, one per taxonomy class the differ must recover:
+#: ``nxdomain`` → nxdomain_vs_noerror, ``servfail`` → rcode_mismatch,
+#: ``rewrite`` → answer_set_mismatch, ``ttl`` → ttl_band_drift,
+#: ``truncate`` → truncation.
+FAULT_KINDS = ("nxdomain", "servfail", "rewrite", "ttl", "truncate")
+
+
+@dataclass(frozen=True)
+class AnswerFault:
+    """One deployment answering one domain wrongly, in one specific way."""
+
+    hostname: str
+    domain: str
+    kind: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise CampaignConfigError(f"unknown answer-fault kind {self.kind!r}")
+
+
+def _rewrite_address(address: str) -> str:
+    """Deterministically map an IPv4 address into TEST-NET-3."""
+    return "203.0.113." + address.rsplit(".", 1)[-1]
+
+
+def mutate_response(query: Message, response: Message, kind: str) -> Message:
+    """Apply one fault kind to a response message (in place, returned)."""
+    if kind == "nxdomain":
+        response.header.rcode = RCODE_NXDOMAIN
+        response.answers = []
+    elif kind == "servfail":
+        response.header.rcode = RCODE_SERVFAIL
+        response.answers = []
+    elif kind == "rewrite":
+        rewritten = []
+        for record in response.answers:
+            if record.rdtype == TYPE_A and isinstance(record.rdata, ARdata):
+                record = ResourceRecord(
+                    name=record.name,
+                    rdtype=record.rdtype,
+                    rdclass=record.rdclass,
+                    ttl=record.ttl,
+                    rdata=ARdata(_rewrite_address(record.rdata.address)),
+                )
+            rewritten.append(record)
+        response.answers = rewritten
+    elif kind == "ttl":
+        # Five seconds sits in the "1s+" band; zone data lives in "1d+".
+        response.answers = [record.with_ttl(5) for record in response.answers]
+    elif kind == "truncate":
+        response.header.tc = True
+        response.answers = []
+    else:
+        raise CampaignConfigError(f"unknown answer-fault kind {kind!r}")
+    return response
+
+
+class AnswerFaultPlan:
+    """A serializable set of :class:`AnswerFault` entries."""
+
+    def __init__(self, faults: Sequence[AnswerFault], seed: int = 0) -> None:
+        self.faults = sorted(
+            faults, key=lambda f: (f.hostname, f.domain, f.kind)
+        )
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AnswerFaultPlan)
+            and other.faults == self.faults
+            and other.seed == self.seed
+        )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        hostnames: Sequence[str],
+        domains: Sequence[str],
+        seed: int = 0,
+        per_kind: int = 1,
+    ) -> "AnswerFaultPlan":
+        """Pick ``per_kind`` distinct (hostname, domain) pairs per fault kind.
+
+        The assignment is a pure function of the inputs: pairs are
+        shuffled with a derived RNG and consumed in kind order, so every
+        process (and every shard) derives the identical plan.
+        """
+        if per_kind < 1:
+            raise CampaignConfigError(f"per_kind must be >= 1, got {per_kind!r}")
+        pairs = [(h, d) for h in sorted(hostnames) for d in sorted(domains)]
+        needed = per_kind * len(FAULT_KINDS)
+        if len(pairs) < needed:
+            raise CampaignConfigError(
+                f"{len(pairs)} (hostname, domain) pairs cannot host "
+                f"{needed} answer faults"
+            )
+        rng = derive_rng(seed, "answer-faults")
+        rng.shuffle(pairs)
+        faults = []
+        cursor = 0
+        for kind in FAULT_KINDS:
+            for _ in range(per_kind):
+                hostname, domain = pairs[cursor]
+                cursor += 1
+                faults.append(AnswerFault(hostname, domain, kind))
+        return cls(faults, seed=seed)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "faults": [
+                    {"hostname": f.hostname, "domain": f.domain, "kind": f.kind}
+                    for f in self.faults
+                ],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnswerFaultPlan":
+        data = json.loads(text)
+        return cls(
+            [AnswerFault(**entry) for entry in data["faults"]],
+            seed=data.get("seed", 0),
+        )
+
+    def restricted_to(self, hostnames: Iterable[str]) -> "AnswerFaultPlan":
+        allowed = set(hostnames)
+        return AnswerFaultPlan(
+            [f for f in self.faults if f.hostname in allowed], seed=self.seed
+        )
+
+    # -- installation -------------------------------------------------------
+
+    def by_hostname(self) -> Dict[str, Dict[str, str]]:
+        """hostname → {domain → kind}."""
+        grouped: Dict[str, Dict[str, str]] = {}
+        for fault in self.faults:
+            grouped.setdefault(fault.hostname, {})[fault.domain] = fault.kind
+        return grouped
+
+    def mutator_for(self, hostname: str) -> Callable[[Message, Message], Message]:
+        """The response mutator covering this hostname's faults."""
+        kinds_by_qname = {
+            Name.from_text(domain): kind
+            for domain, kind in self.by_hostname().get(hostname, {}).items()
+        }
+
+        def mutator(query: Message, response: Message) -> Message:
+            question = query.question
+            if question is None:
+                return response
+            kind = kinds_by_qname.get(question.qname)
+            if kind is None:
+                return response
+            return mutate_response(query, response, kind)
+
+        return mutator
+
+    def install(self, deployments: Iterable[object]) -> int:
+        """Arm mutators on the targeted deployments; returns how many."""
+        targeted = self.by_hostname()
+        armed = 0
+        for deployment in deployments:
+            if deployment.hostname in targeted:
+                deployment.response_mutator = self.mutator_for(deployment.hostname)
+                armed += 1
+        return armed
+
+    def describe(self) -> str:
+        return "\n".join(
+            f"{f.hostname} {f.domain} -> {f.kind}" for f in self.faults
+        )

@@ -1,0 +1,94 @@
+"""Diff records: one classified comparison per (query cell, resolver).
+
+A *cell* is one same-query fan-out — (campaign, vantage, round, domain) —
+and each resolver that was probed in the cell yields exactly one
+:class:`DiffRecord` against the cell's consensus answer.  Records
+serialize as sorted-key JSONL so diff outputs can be persisted and
+byte-compared the same way measurement records are.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.errors import ResultsFormatError
+
+#: Comparison statuses.
+STATUS_AGREE = "agree"
+STATUS_DISAGREE = "disagree"
+STATUS_UNANSWERED = "unanswered"
+
+
+@dataclass
+class DiffRecord:
+    """One resolver's answer compared against its cell's consensus."""
+
+    campaign: str
+    vantage: str
+    resolver: str
+    domain: str
+    round_index: int
+    transport: str
+    #: ``agree`` | ``disagree`` | ``unanswered``.
+    status: str
+    #: Taxonomy label (``agree`` for agreeing records, else one of
+    #: :data:`repro.dnswire.canonical.TAXONOMY`).
+    classification: str
+    #: Mismatching field names, in :data:`~repro.dnswire.canonical.FIELD_ORDER`.
+    mismatch_fields: List[str] = field(default_factory=list)
+    #: One-line canonical forms (``None`` when unanswered / no consensus).
+    observed: Optional[str] = None
+    expected: Optional[str] = None
+    #: Probe error class for unanswered cells.
+    error_class: Optional[str] = None
+    #: How many of the cell's responses matched the consensus, and how
+    #: many resolvers the cell probed at all.
+    consensus_size: int = 0
+    group_size: int = 0
+    #: Filled by the diffrepro-style re-query pass: attempts made, how
+    #: many still disagreed with the consensus, and the verdict (``None``
+    #: until verified; agreeing records are never verified).
+    verify_attempts: int = 0
+    verify_disagreements: int = 0
+    reproducible: Optional[bool] = None
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), separators=(",", ":"), sort_keys=True)
+
+    @classmethod
+    def parse_line(
+        cls,
+        line: str,
+        source: Optional[Union[str, Path]] = None,
+        line_number: Optional[int] = None,
+    ) -> "DiffRecord":
+        try:
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise ValueError(f"expected a JSON object, got {type(data).__name__}")
+            return cls(**data)
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            location = ""
+            if source is not None:
+                location = f" in {source}"
+                if line_number is not None:
+                    location += f", line {line_number}"
+            raise ResultsFormatError(f"malformed diff record{location}: {exc}") from exc
+
+    @staticmethod
+    def canonical_key(record: "DiffRecord") -> tuple:
+        """Total order making diff outputs independent of input order."""
+        return (
+            record.campaign,
+            record.round_index,
+            record.vantage,
+            record.domain,
+            record.resolver,
+        )
+
+
+def diff_records_to_jsonl(records: Iterable[DiffRecord]) -> str:
+    return "".join(record.to_json() + "\n" for record in records)

@@ -1,0 +1,315 @@
+"""Canonical normalization of DNS responses for answer differencing.
+
+Two resolvers that serve the same zone data can still emit byte-different
+responses: message IDs differ per query, name case is preserved wherever
+the authority typed it, answer records arrive in rotated orders, and TTLs
+decay with cache age.  The differ must not count any of that as
+disagreement, so this module defines a *canonical form* — the projection
+of a response that two correct resolvers are expected to share — plus the
+field-by-field comparison and the disagreement taxonomy built on it.
+
+Normalization rules (respdiff's msgdiff criteria, adapted):
+
+* **case-folded names** — owner names and name-bearing RDATA (CNAME, NS,
+  PTR, SOA, MX) are lowercased; RFC 1035 §2.3.3 comparisons are
+  case-insensitive.  Free-form RDATA (TXT) keeps its case.
+* **sorted answer sets** — sections are sorted by (owner, type, rdata);
+  record rotation is load balancing, not disagreement.
+* **TTL bands** — TTLs collapse onto coarse band floors (0 / 1s+ / 1m+ /
+  1h+ / 1d+) so cache-age decay within a band is invisible while a
+  resolver that rewrites TTLs across bands is not.
+* **rcode classes** — response codes map to lowercase class labels
+  (``noerror``, ``nxdomain``, ``servfail``, …).
+* **message identity erased** — the ID is zeroed; EDNS OPT and the
+  authority/additional sections are resolver-local detail and excluded
+  from the comparable form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.dnswire.message import Header, Message, Question, ResourceRecord
+from repro.dnswire.name import Name
+from repro.dnswire.rdata import (
+    CnameRdata,
+    MxRdata,
+    NsRdata,
+    PtrRdata,
+    Rdata,
+    SoaRdata,
+)
+from repro.dnswire.types import TYPE_OPT, rcode_name, type_name
+
+#: TTL band floors, highest first: a TTL maps to the first floor it meets.
+#: Bands are coarse on purpose — simulated caches hand out decayed TTLs,
+#: and decay within a band must not read as drift.
+TTL_BANDS: Tuple[Tuple[int, str], ...] = (
+    (86400, "1d+"),
+    (3600, "1h+"),
+    (60, "1m+"),
+    (1, "1s+"),
+    (0, "0"),
+)
+
+#: Deterministic field order for mismatch lists and per-field tables.
+FIELD_ORDER: Tuple[str, ...] = ("rcode", "flags.tc", "answers", "ttl")
+
+
+def ttl_band(ttl: int) -> str:
+    """The band label for a TTL (``"1d+"``, ``"1h+"``, … ``"0"``)."""
+    for floor, label in TTL_BANDS:
+        if ttl >= floor:
+            return label
+    return TTL_BANDS[-1][1]
+
+
+def ttl_band_floor(ttl: int) -> int:
+    """The numeric floor of a TTL's band (the canonical TTL value)."""
+    for floor, _label in TTL_BANDS:
+        if ttl >= floor:
+            return floor
+    return 0
+
+
+def rcode_class(rcode: int) -> str:
+    """Lowercase rcode class label (``noerror``, ``nxdomain``, …)."""
+    return rcode_name(rcode).lower()
+
+
+def _fold_name(name: Name) -> Name:
+    return Name(tuple(label.lower() for label in name.labels))
+
+
+def _fold_rdata(rdata: Rdata) -> Rdata:
+    """Case-fold the name-bearing RDATA fields; leave free-form data alone."""
+    if isinstance(rdata, (CnameRdata, NsRdata, PtrRdata)):
+        return type(rdata)(_fold_name(rdata.target))
+    if isinstance(rdata, MxRdata):
+        return MxRdata(rdata.preference, _fold_name(rdata.exchange))
+    if isinstance(rdata, SoaRdata):
+        return replace(
+            rdata,
+            mname=_fold_name(rdata.mname),
+            rname=_fold_name(rdata.rname),
+        )
+    return rdata
+
+
+def _record_sort_key(record: ResourceRecord) -> tuple:
+    return (
+        record.name.to_text(),
+        record.rdtype,
+        record.rdclass,
+        record.rdata.to_text(),
+        record.ttl,
+    )
+
+
+def _normalize_record(record: ResourceRecord) -> ResourceRecord:
+    return ResourceRecord(
+        name=_fold_name(record.name),
+        rdtype=record.rdtype,
+        rdclass=record.rdclass,
+        ttl=ttl_band_floor(record.ttl),
+        rdata=_fold_rdata(record.rdata),
+    )
+
+
+def normalize_message(message: Message) -> Message:
+    """A canonically normalized copy of ``message``.
+
+    Idempotent, and invariant under answer reordering and name-case
+    changes of the input: ``normalize_message(m)`` equals (in wire bytes)
+    ``normalize_message(shuffle(fold_case(m)))``.
+    """
+    header = Header(
+        msg_id=0,
+        qr=message.header.qr,
+        opcode=message.header.opcode,
+        aa=message.header.aa,
+        tc=message.header.tc,
+        rd=message.header.rd,
+        ra=message.header.ra,
+        ad=message.header.ad,
+        cd=message.header.cd,
+        rcode=message.header.rcode,
+    )
+    questions = [
+        Question(_fold_name(q.qname), q.qtype, q.qclass)
+        for q in message.questions
+    ]
+    sections = []
+    for section in (message.answers, message.authorities, message.additionals):
+        normalized = [
+            _normalize_record(record)
+            for record in section
+            if record.rdtype != TYPE_OPT
+        ]
+        normalized.sort(key=_record_sort_key)
+        sections.append(normalized)
+    return Message(
+        header=header,
+        questions=questions,
+        answers=sections[0],
+        authorities=sections[1],
+        additionals=sections[2],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Canonical comparable form
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CanonicalAnswer:
+    """One answer record in comparable form."""
+
+    name: str  # lowercased owner, trailing dot
+    rdtype: str  # mnemonic type name
+    rdata: str  # canonical rdata text
+    ttl_band: str
+
+    @property
+    def identity(self) -> Tuple[str, str, str]:
+        """The record sans TTL — what "same answer set" means."""
+        return (self.name, self.rdtype, self.rdata)
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The comparable projection of one response message."""
+
+    rcode_class: str
+    tc: bool
+    answers: Tuple[CanonicalAnswer, ...]  # sorted
+
+    @property
+    def answer_identities(self) -> Tuple[Tuple[str, str, str], ...]:
+        return tuple(answer.identity for answer in self.answers)
+
+    def render(self) -> str:
+        """One-line human form for report rows."""
+        parts = [self.rcode_class]
+        if self.tc:
+            parts.append("tc")
+        if self.answers:
+            parts.append(
+                " ".join(
+                    f"{a.rdtype}:{a.rdata}/{a.ttl_band}" for a in self.answers
+                )
+            )
+        else:
+            parts.append("-")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "rcode_class": self.rcode_class,
+            "tc": self.tc,
+            "answers": [
+                {
+                    "name": a.name,
+                    "rdtype": a.rdtype,
+                    "rdata": a.rdata,
+                    "ttl_band": a.ttl_band,
+                }
+                for a in self.answers
+            ],
+        }
+
+
+def canonical_form(message: Message) -> CanonicalForm:
+    """Project a response message onto its canonical comparable form."""
+    normalized = normalize_message(message)
+    answers = tuple(
+        CanonicalAnswer(
+            name=record.name.to_text(),
+            rdtype=type_name(record.rdtype),
+            rdata=record.rdata.to_text(),
+            ttl_band=ttl_band(record.ttl),
+        )
+        for record in normalized.answers
+    )
+    return CanonicalForm(
+        rcode_class=rcode_class(normalized.header.rcode),
+        tc=normalized.header.tc,
+        answers=answers,
+    )
+
+
+def canonical_form_from_wire(wire: bytes) -> CanonicalForm:
+    return canonical_form(Message.from_wire(wire))
+
+
+# ---------------------------------------------------------------------------
+# Field-by-field comparison and disagreement taxonomy
+# ---------------------------------------------------------------------------
+
+CLASS_AGREE = "agree"
+CLASS_NXDOMAIN_VS_NOERROR = "nxdomain_vs_noerror"
+CLASS_RCODE_MISMATCH = "rcode_mismatch"
+CLASS_ANSWER_SET_MISMATCH = "answer_set_mismatch"
+CLASS_TTL_BAND_DRIFT = "ttl_band_drift"
+CLASS_TRUNCATION = "truncation"
+CLASS_UNANSWERED = "unanswered"
+
+#: The documented disagreement taxonomy, in report order.
+TAXONOMY: Tuple[str, ...] = (
+    CLASS_NXDOMAIN_VS_NOERROR,
+    CLASS_RCODE_MISMATCH,
+    CLASS_ANSWER_SET_MISMATCH,
+    CLASS_TTL_BAND_DRIFT,
+    CLASS_TRUNCATION,
+    CLASS_UNANSWERED,
+)
+
+
+def diff_forms(observed: CanonicalForm, expected: CanonicalForm) -> List[str]:
+    """Mismatching field names between two canonical forms.
+
+    Fields are reported in :data:`FIELD_ORDER`.  An empty list means the
+    forms agree.  ``ttl`` is only reported when the answer *identities*
+    match but land in different TTL bands — if the sets themselves differ
+    the TTL comparison is meaningless and ``answers`` subsumes it.
+    """
+    fields = []
+    if observed.rcode_class != expected.rcode_class:
+        fields.append("rcode")
+    if observed.tc != expected.tc:
+        fields.append("flags.tc")
+    if observed.answer_identities != expected.answer_identities:
+        fields.append("answers")
+    elif observed.answers != expected.answers:
+        fields.append("ttl")
+    return sorted(fields, key=FIELD_ORDER.index)
+
+
+def classify(
+    mismatch_fields: List[str],
+    observed: Optional[CanonicalForm],
+    expected: Optional[CanonicalForm],
+) -> str:
+    """Map a field-level diff onto the disagreement taxonomy.
+
+    Priority: rcode disagreements outrank truncation, which outranks
+    answer-set mismatch, which outranks TTL-band drift — a truncated
+    response legitimately drops answer records, so the higher class is
+    the informative one.
+    """
+    if observed is None or expected is None:
+        return CLASS_UNANSWERED
+    if not mismatch_fields:
+        return CLASS_AGREE
+    if "rcode" in mismatch_fields:
+        classes = {observed.rcode_class, expected.rcode_class}
+        if classes == {"noerror", "nxdomain"}:
+            return CLASS_NXDOMAIN_VS_NOERROR
+        return CLASS_RCODE_MISMATCH
+    if "flags.tc" in mismatch_fields:
+        return CLASS_TRUNCATION
+    if "answers" in mismatch_fields:
+        return CLASS_ANSWER_SET_MISMATCH
+    return CLASS_TTL_BAND_DRIFT

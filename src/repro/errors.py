@@ -166,6 +166,10 @@ class StoreError(MeasurementError):
     """A results warehouse was misused (missing manifest, double ingest)."""
 
 
+class DiffInputError(MeasurementError):
+    """Answer differencing was fed unusable input (no captured responses)."""
+
+
 class MonitorConfigError(MeasurementError):
     """An SLO policy or monitor configuration is invalid (bad threshold,
     unknown objective kind, malformed policy file)."""

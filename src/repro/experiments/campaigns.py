@@ -149,6 +149,73 @@ def run_fault_study(
     return store, plan
 
 
+def diff_campaign_config(
+    rounds: int = 2,
+    seed: int = 505,
+    domains: Optional[Sequence[str]] = None,
+    transport: str = "doh",
+) -> CampaignConfig:
+    """The same-query fan-out campaign for answer differencing.
+
+    Every deployment is asked the identical questions each round, raw
+    response messages are captured on the records, and pings are skipped
+    (latency is not the object here).  Two rounds at EC2 cadence keep the
+    cells cheap while still exposing round-to-round transients.
+    """
+    return CampaignConfig(
+        name="diff-fanout",
+        domains=tuple(domains) if domains is not None else CampaignConfig.domains,
+        schedule=PeriodicSchedule(
+            rounds=rounds, interval_ms=6 * MS_PER_HOUR, stagger_ms=10 * 60 * 1000.0
+        ),
+        transport=transport,
+        probe_config=DohProbeConfig(),
+        ping=False,
+        seed=seed,
+        capture_responses=True,
+    )
+
+
+def run_diff_campaign(
+    world_seed: int = 0,
+    rounds: int = 2,
+    seed: int = 505,
+    domains: Optional[Sequence[str]] = None,
+    transport: str = "doh",
+    vantage_names: Optional[Sequence[str]] = None,
+    target_hostnames: Optional[Iterable[str]] = None,
+    workers: int = 1,
+    shard_by: str = "vantage",
+    shards: Optional[int] = None,
+    answer_fault_plan: Optional["AnswerFaultPlan"] = None,
+    store_dir: Optional[str] = None,
+    segment_records: int = 4096,
+) -> ParallelRun:
+    """Run the differencing fan-out, serial or sharded, RAM or warehouse.
+
+    With ``answer_fault_plan`` set, every shard (and the serial path —
+    the identity shard plan) arms the plan's response mutators on its
+    own targets, so the injected disagreements are identical for any
+    worker count.  The returned run's record source feeds
+    :func:`repro.diff.build_diff_report`.
+    """
+    names = list(vantage_names) if vantage_names is not None else list(EC2_VANTAGE_NAMES)
+    return run_campaign_parallel(
+        diff_campaign_config(
+            rounds=rounds, seed=seed, domains=domains, transport=transport
+        ),
+        names,
+        target_hostnames,
+        world_seed=world_seed,
+        workers=workers,
+        shard_by=shard_by,
+        shards=shards,
+        answer_fault_plan=answer_fault_plan,
+        store_dir=store_dir,
+        segment_records=segment_records,
+    )
+
+
 HOME_VANTAGE_NAMES = (
     "home-chicago-1",
     "home-chicago-2",
@@ -228,6 +295,7 @@ def run_campaign_parallel(
     shard_by: str = "vantage",
     shards: Optional[int] = None,
     fault_plan: Optional[FaultPlan] = None,
+    answer_fault_plan: Optional["AnswerFaultPlan"] = None,
     collect_spans: bool = False,
     collect_metrics: bool = False,
     store_dir: Optional[str] = None,
@@ -254,6 +322,9 @@ def run_campaign_parallel(
         shard_by=shard_by,
         shards=shards,
         fault_plan_json=fault_plan.to_json() if fault_plan is not None else None,
+        answer_fault_plan_json=(
+            answer_fault_plan.to_json() if answer_fault_plan is not None else None
+        ),
         collect_spans=collect_spans,
         collect_metrics=collect_metrics,
     )

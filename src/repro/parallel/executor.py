@@ -59,6 +59,9 @@ class ShardTask:
     shard_seed: int
     network_seed: Optional[int]
     fault_plan_json: Optional[str] = None
+    #: Serialized :class:`repro.diff.faults.AnswerFaultPlan`; shards arm
+    #: response mutators on their own targets exactly like the serial run.
+    answer_fault_plan_json: Optional[str] = None
     collect_spans: bool = False
     collect_metrics: bool = False
     warm_caches: bool = True
@@ -76,6 +79,7 @@ class ShardTask:
         config: CampaignConfig,
         world_seed: int,
         fault_plan_json: Optional[str] = None,
+        answer_fault_plan_json: Optional[str] = None,
         collect_spans: bool = False,
         collect_metrics: bool = False,
         warm_caches: bool = True,
@@ -99,6 +103,7 @@ class ShardTask:
             shard_seed=shard.seed,
             network_seed=shard.network_seed,
             fault_plan_json=fault_plan_json,
+            answer_fault_plan_json=answer_fault_plan_json,
             collect_spans=collect_spans,
             collect_metrics=collect_metrics,
             warm_caches=warm_caches,
@@ -166,6 +171,17 @@ def execute_shard(task: ShardTask) -> ShardResult:
                 world.network,
                 [world.deployments[hostname] for hostname in task.target_hostnames],
                 plan,
+            )
+
+    if task.answer_fault_plan_json:
+        from repro.diff.faults import AnswerFaultPlan
+
+        answer_plan = AnswerFaultPlan.from_json(
+            task.answer_fault_plan_json
+        ).restricted_to(task.target_hostnames)
+        if len(answer_plan):
+            answer_plan.install(
+                world.deployments[hostname] for hostname in task.target_hostnames
             )
 
     config = replace(

@@ -108,6 +108,9 @@ class _FrontendBase:
         assert engine is not None, "deployment not activated"
 
         def send_response(response: Message) -> None:
+            mutator = self.deployment.response_mutator
+            if mutator is not None:
+                response = mutator(query, response)
             if get_edns(query) is not None and response.opt_record() is None:
                 add_edns(response, EdnsOptions())
             delay = self.deployment.processing.sample_ms(self.rng)

@@ -205,6 +205,7 @@ class TestMeasureWithSlo:
         assert any(line.startswith("progress ") for line in err.splitlines())
         assert not any(line.startswith("progress ") for line in out.splitlines())
 
+    @pytest.mark.slow
     def test_parallel_measure_alerts_match_serial(self, tmp_path, capsys):
         serial_dir, pooled_dir = tmp_path / "serial", tmp_path / "pooled"
         base = [

@@ -1,0 +1,279 @@
+"""Differential-testing engine: golden masters, taxonomy, reproducibility.
+
+Three pillars:
+
+* **Clean-world agreement** — when every deployment resolves from the
+  same zone data, the differ must report zero content disagreements;
+  dead or timed-out resolvers land in ``unanswered``, never ``disagree``.
+* **Injected faults classify** — each answer-fault kind maps onto the
+  documented taxonomy class, and the diffrepro re-query pass labels the
+  injected (deterministic) faults reproducible.
+* **Golden masters** — the rendered report and the per-cell diff-record
+  JSONL are byte-identical across worker counts and across record
+  sources (in-RAM ResultStore vs on-disk warehouse) for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.runner import Campaign
+from repro.diff import (
+    AnswerFault,
+    AnswerFaultPlan,
+    DiffRecord,
+    build_diff_report,
+    verify_reproducibility,
+)
+from repro.diff.records import STATUS_DISAGREE, STATUS_UNANSWERED
+from repro.dnswire.canonical import (
+    CLASS_ANSWER_SET_MISMATCH,
+    CLASS_NXDOMAIN_VS_NOERROR,
+    CLASS_RCODE_MISMATCH,
+    CLASS_TRUNCATION,
+    CLASS_TTL_BAND_DRIFT,
+    CLASS_UNANSWERED,
+)
+from repro.errors import DiffInputError
+from repro.experiments.campaigns import (
+    EC2_VANTAGE_NAMES,
+    diff_campaign_config,
+    run_diff_campaign,
+)
+
+from tests.conftest import MINI_CATALOG_HOSTNAMES, make_mini_world
+
+MINI = tuple(MINI_CATALOG_HOSTNAMES)
+
+#: Worker count for the pooled side (CI re-runs with REPRO_TEST_WORKERS=4).
+POOLED_WORKERS = int(os.environ.get("REPRO_TEST_WORKERS", "2"))
+
+#: Resolvers with negligible failure probability in the mini catalog —
+#: fault targets, so every injected disagreement is observed, not lost
+#: to an unlucky SERVFAIL roll.
+STABLE = (
+    "dns.google",
+    "dns.quad9.net",
+    "security.cloudflare-dns.com",
+    "ordns.he.net",
+    "dns.alidns.com",
+)
+
+DEAD_RESOLVER = "dns.pumplex.com"  # never comes up in the mini catalog
+
+
+def _mini_diff_campaign(seed, fault_plan=None, store=None, world=None):
+    """One serial differencing fan-out on a fresh mini world."""
+    if world is None:
+        world = make_mini_world(seed=seed)
+    if fault_plan is not None:
+        fault_plan.install(world.deployments[hostname] for hostname in MINI)
+    result = Campaign(
+        network=world.network,
+        vantages=[world.vantage(name) for name in EC2_VANTAGE_NAMES],
+        targets=world.targets(list(MINI)),
+        config=diff_campaign_config(rounds=2, seed=seed),
+        store=store,
+    ).run()
+    return world, result
+
+
+# ---------------------------------------------------------------------------
+# Clean-world agreement
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def clean_report():
+    _world, store = _mini_diff_campaign(seed=5)
+    return build_diff_report(store)
+
+
+class TestCleanWorldAgreement:
+    def test_zero_content_disagreements(self, clean_report):
+        assert clean_report.status_counts()[STATUS_DISAGREE] == 0
+
+    def test_every_cell_covers_every_resolver(self, clean_report):
+        # 2 rounds x 3 vantages x 3 study domains = 18 cells x 11 resolvers.
+        assert clean_report.cell_count() == 18
+        assert len(clean_report.records) == 18 * len(MINI)
+
+    def test_dead_resolver_is_unanswered_not_disagreeing(self, clean_report):
+        rows = {row.resolver: row for row in clean_report.per_resolver_rows()}
+        dead = rows[DEAD_RESOLVER]
+        assert dead.unanswered == dead.cells
+        assert dead.disagree == 0
+        assert dead.disagreement_rate == 0.0
+
+    def test_unanswered_cells_carry_taxonomy_class(self, clean_report):
+        for record in clean_report.records:
+            if record.status == STATUS_UNANSWERED:
+                assert record.classification == CLASS_UNANSWERED
+                assert record.observed is None
+
+    def test_report_is_deterministic_for_a_fixed_seed(self, clean_report):
+        _world, store = _mini_diff_campaign(seed=5)
+        again = build_diff_report(store)
+        assert again.render() == clean_report.render()
+        assert again.to_jsonl() == clean_report.to_jsonl()
+
+    def test_field_shares_all_zero_without_disagreements(self, clean_report):
+        assert all(count == 0 for _f, count, _s in clean_report.field_mismatch_shares())
+
+
+# ---------------------------------------------------------------------------
+# Injected faults classify into the documented taxonomy
+# ---------------------------------------------------------------------------
+
+
+EXPECTED_CLASS = {
+    "nxdomain": CLASS_NXDOMAIN_VS_NOERROR,
+    "servfail": CLASS_RCODE_MISMATCH,
+    "rewrite": CLASS_ANSWER_SET_MISMATCH,
+    "ttl": CLASS_TTL_BAND_DRIFT,
+    "truncate": CLASS_TRUNCATION,
+}
+
+
+@pytest.fixture(scope="module")
+def faulted():
+    plan = AnswerFaultPlan.generate(
+        STABLE, list(diff_campaign_config().domains), seed=7
+    )
+    world, store = _mini_diff_campaign(seed=5, fault_plan=plan)
+    report = build_diff_report(store)
+    verify_reproducibility(world, report, attempts=3, seed=5)
+    return plan, report
+
+
+class TestInjectedFaultTaxonomy:
+    def test_one_fault_per_kind_was_planned(self, faulted):
+        plan, _report = faulted
+        assert sorted(fault.kind for fault in plan.faults) == sorted(EXPECTED_CLASS)
+
+    def test_each_fault_kind_classifies_to_its_taxonomy_class(self, faulted):
+        plan, report = faulted
+        by_cell = {}
+        for record in report.disagreements():
+            by_cell.setdefault((record.resolver, record.domain), set()).add(
+                record.classification
+            )
+        for fault in plan.faults:
+            cell = (fault.hostname, fault.domain)
+            assert by_cell.get(cell) == {EXPECTED_CLASS[fault.kind]}, (
+                f"fault {fault.kind} on {cell} misclassified: {by_cell.get(cell)}"
+            )
+
+    def test_no_disagreements_outside_faulted_cells(self, faulted):
+        plan, report = faulted
+        faulted_cells = {(fault.hostname, fault.domain) for fault in plan.faults}
+        for record in report.disagreements():
+            assert (record.resolver, record.domain) in faulted_cells
+
+    def test_requery_labels_injected_faults_reproducible(self, faulted):
+        """The mutator rewrites every response, so all re-queries that got
+        an answer disagree again -> reproducible (a cell stays unlabeled
+        only if a re-query attempt itself went unanswered)."""
+        _plan, report = faulted
+        verdicts = [
+            record.reproducible
+            for record in report.disagreements()
+            if record.verify_disagreements == record.verify_attempts
+        ]
+        assert verdicts and all(verdicts)
+
+    def test_taxonomy_table_counts_reproducible_verdicts(self, faulted):
+        _plan, report = faulted
+        counts = {label: (count, repro, transient, unverified)
+                  for label, count, repro, transient, unverified
+                  in report.classification_counts()}
+        for kind, label in EXPECTED_CLASS.items():
+            count, repro, transient, _unverified = counts[label]
+            assert count > 0, f"no {label} rows for injected {kind}"
+            assert repro + transient == count
+
+
+class TestAnswerFaultPlan:
+    def test_plan_json_round_trip(self):
+        plan = AnswerFaultPlan.generate(STABLE, ["a.com", "b.com"], seed=3)
+        assert AnswerFaultPlan.from_json(plan.to_json()) == plan
+
+    def test_restricted_to_drops_other_hosts(self):
+        plan = AnswerFaultPlan.generate(STABLE, ["a.com"], seed=3)
+        kept = plan.restricted_to(STABLE[:1])
+        assert all(fault.hostname == STABLE[0] for fault in kept.faults)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(Exception):
+            AnswerFault(hostname="h", domain="d", kind="scramble")
+
+
+# ---------------------------------------------------------------------------
+# Input validation and record codec
+# ---------------------------------------------------------------------------
+
+
+class TestDiffInputs:
+    def test_records_without_captures_are_rejected(self):
+        from repro.experiments.campaigns import ec2_campaign_config
+
+        world = make_mini_world(seed=5)
+        store = Campaign(
+            network=world.network,
+            vantages=[world.vantage(EC2_VANTAGE_NAMES[0])],
+            targets=world.targets([STABLE[0]]),
+            config=ec2_campaign_config(rounds=1, seed=5),  # no capture
+        ).run()
+        with pytest.raises(DiffInputError):
+            build_diff_report(store)
+
+    def test_diff_record_jsonl_round_trip(self, clean_report):
+        for record in clean_report.records[:20]:
+            assert DiffRecord.parse_line(record.to_json()) == record
+
+
+# ---------------------------------------------------------------------------
+# Golden masters: worker counts and record sources
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestGoldenMasters:
+    def test_report_byte_identical_serial_vs_pooled(self):
+        plan = AnswerFaultPlan.generate(
+            STABLE, list(diff_campaign_config().domains), seed=7
+        )
+        runs = [
+            run_diff_campaign(
+                world_seed=0,
+                rounds=2,
+                seed=5,
+                target_hostnames=list(MINI),
+                workers=workers,
+                answer_fault_plan=plan,
+            )
+            for workers in (1, POOLED_WORKERS)
+        ]
+        reports = [build_diff_report(run.store.records) for run in runs]
+        assert reports[0].render() == reports[1].render()
+        assert reports[0].to_jsonl() == reports[1].to_jsonl()
+        assert reports[0].status_counts()[STATUS_DISAGREE] > 0
+
+    def test_report_byte_identical_classic_vs_warehouse(self, tmp_path):
+        classic = run_diff_campaign(
+            world_seed=0, rounds=2, seed=5, target_hostnames=list(MINI)
+        )
+        stored = run_diff_campaign(
+            world_seed=0,
+            rounds=2,
+            seed=5,
+            target_hostnames=list(MINI),
+            store_dir=str(tmp_path / "wh"),
+            segment_records=64,
+        )
+        from_ram = build_diff_report(classic.store.records)
+        from_disk = build_diff_report(stored.warehouse.iter_records())
+        assert from_ram.render() == from_disk.render()
+        assert from_ram.to_jsonl() == from_disk.to_jsonl()

@@ -259,3 +259,84 @@ def test_property_double_encode_is_stable(message):
     once = message.to_wire()
     again = Message.from_wire(once).to_wire()
     assert once == again
+
+
+class TestMultiRecordRoundTrips:
+    """Regressions for the shapes the answer differ feeds through the codec:
+    multi-record answer sections and CNAME chains must survive the wire
+    bit-exactly, compressed or not."""
+
+    def _decode_both_ways(self, message):
+        compressed = Message.from_wire(message.to_wire(compress=True))
+        plain = Message.from_wire(message.to_wire(compress=False))
+        assert compressed.answers == plain.answers
+        return compressed
+
+    def test_multi_a_record_answer_section_round_trips(self):
+        owner = "balanced.example.com."
+        message = make_response(
+            make_query("balanced.example.com", msg_id=7),
+            answers=[rr(owner, TYPE_A, ARdata(f"192.0.2.{i}"), ttl=300 + i)
+                     for i in range(6)],
+        )
+        decoded = self._decode_both_ways(message)
+        assert len(decoded.answers) == 6
+        assert decoded.answers == message.answers
+        assert decoded.answer_addresses() == [f"192.0.2.{i}" for i in range(6)]
+        assert [record.ttl for record in decoded.answers] == [300 + i for i in range(6)]
+
+    def test_mixed_type_answer_section_round_trips(self):
+        owner = "mixed.example.com."
+        message = make_response(
+            make_query("mixed.example.com", msg_id=8),
+            answers=[
+                rr(owner, TYPE_A, ARdata("192.0.2.10")),
+                rr(owner, TYPE_AAAA, AaaaRdata("2001:db8::10")),
+                rr(owner, TYPE_MX, MxRdata(10, Name.from_text("mail.example.com"))),
+                rr(owner, TYPE_TXT, TxtRdata([b"v=spf1 -all"])),
+            ],
+        )
+        decoded = self._decode_both_ways(message)
+        assert decoded.answers == message.answers
+
+    def test_cname_chain_round_trips_in_order(self):
+        """A 3-link CNAME chain terminating in an A record: section order
+        carries the chain semantics, so decode must preserve it exactly."""
+        chain = [
+            rr("www.example.com.", TYPE_CNAME, CnameRdata(Name.from_text("cdn.example.net"))),
+            rr("cdn.example.net.", TYPE_CNAME, CnameRdata(Name.from_text("edge.example.org"))),
+            rr("edge.example.org.", TYPE_A, ARdata("198.51.100.7")),
+        ]
+        message = make_response(make_query("www.example.com", msg_id=9), answers=chain)
+        decoded = self._decode_both_ways(message)
+        assert decoded.answers == chain
+        assert [record.name.to_text() for record in decoded.answers] == [
+            "www.example.com.", "cdn.example.net.", "edge.example.org.",
+        ]
+        targets = [record.rdata.target.to_text()
+                   for record in decoded.answers if record.rdtype == TYPE_CNAME]
+        assert targets == ["cdn.example.net.", "edge.example.org."]
+
+    def test_cname_chain_compression_points_across_records(self):
+        """Chain targets repeat owner names; compression must shrink the wire
+        while decoding to the identical section."""
+        chain = [
+            rr("a.deep.example.com.", TYPE_CNAME, CnameRdata(Name.from_text("b.deep.example.com"))),
+            rr("b.deep.example.com.", TYPE_CNAME, CnameRdata(Name.from_text("c.deep.example.com"))),
+            rr("c.deep.example.com.", TYPE_A, ARdata("203.0.113.30")),
+        ]
+        message = make_response(make_query("a.deep.example.com", msg_id=10), answers=chain)
+        compressed = message.to_wire(compress=True)
+        plain = message.to_wire(compress=False)
+        assert len(compressed) < len(plain)
+        assert Message.from_wire(compressed).answers == chain
+
+    def test_counts_reflect_multi_record_sections(self):
+        message = make_response(
+            make_query("counts.example.com", msg_id=11),
+            answers=[rr("counts.example.com.", TYPE_A, ARdata(f"192.0.2.{i}"))
+                     for i in range(3)],
+        )
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded.header.ancount == 3
+        assert len(decoded.answers) == 3

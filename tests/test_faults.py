@@ -387,6 +387,7 @@ class TestDeterminism:
 
 
 class TestPaperErrorShape:
+    @pytest.mark.slow
     def test_fault_campaign_reproduces_error_rate_band(self):
         world = build_world(seed=7)
         store, plan = run_fault_study(world, rounds=8, vantage_names=("ec2-ohio",))

@@ -14,6 +14,10 @@ import os
 
 import pytest
 
+# Every test here replays at least one full campaign (the module
+# fixture runs the serial reference); the whole file rides the slow lane.
+pytestmark = pytest.mark.slow
+
 from repro.experiments.campaigns import (
     EC2_VANTAGE_NAMES,
     ec2_campaign_config,

@@ -99,6 +99,7 @@ def test_identity_plan_reproduces_classic_run():
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("seed", [0, 17, 2023])
 def test_ec2_campaign_workers_byte_identical(seed):
     serial = _run(seed, workers=1, hostnames=FULL_HOSTNAMES)
@@ -117,6 +118,7 @@ def test_ec2_campaign_workers_byte_identical(seed):
     assert serial_csv == pooled_csv
 
 
+@pytest.mark.slow
 def test_worker_counts_two_three_four_agree():
     serial = _run(5, workers=1, shard_by="resolver", shards=4)
     arts = _artifacts(serial)
@@ -125,6 +127,7 @@ def test_worker_counts_two_three_four_agree():
                                 shards=4)) == arts
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("shard_by,shards", [("resolver", 3), ("round", 2)])
 def test_other_strategies_byte_identical(shard_by, shards):
     serial = _run(23, workers=1, shard_by=shard_by, shards=shards)
@@ -137,6 +140,7 @@ def test_other_strategies_byte_identical(shard_by, shards):
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.slow
 def test_study_parallel_byte_identical():
     kwargs = dict(
         world_seed=3, home_rounds=1, ec2_rounds=1, target_hostnames=MINI,
@@ -149,6 +153,7 @@ def test_study_parallel_byte_identical():
     assert {r.campaign for r in serial.store} == {"home-chicago", "ec2-global"}
 
 
+@pytest.mark.slow
 def test_fault_study_parallel_byte_identical():
     serial, serial_plan = run_fault_study_parallel(
         world_seed=9, rounds=2, workers=1, target_hostnames=MINI

@@ -1,8 +1,10 @@
-"""Property-based tests for transport-layer invariants.
+"""Property-based tests for transport-layer and normalizer invariants.
 
 These exercise the simulator under adversarial conditions hypothesis can
 find: heavy jitter (reordering), arbitrary payload sizes and chunkings —
-asserting that byte streams always arrive complete and in order.
+asserting that byte streams always arrive complete and in order — plus
+the canonical-form invariants the answer differ rests on (idempotence,
+answer-order independence, empty self-diff) over arbitrary wire messages.
 """
 
 import json
@@ -10,6 +12,27 @@ import json
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
+from repro.dnswire.canonical import (
+    TAXONOMY,
+    canonical_form,
+    canonical_form_from_wire,
+    classify,
+    diff_forms,
+    normalize_message,
+    ttl_band,
+    ttl_band_floor,
+)
+from repro.dnswire.message import Header, Message, Question, ResourceRecord
+from repro.dnswire.name import Name
+from repro.dnswire.rdata import AaaaRdata, ARdata, CnameRdata, MxRdata, TxtRdata
+from repro.dnswire.types import (
+    CLASS_IN,
+    TYPE_A,
+    TYPE_AAAA,
+    TYPE_CNAME,
+    TYPE_MX,
+    TYPE_TXT,
+)
 from repro.netsim.latency import AccessProfile
 from repro.netsim.sockets import MSS, SimTcpConnection
 from repro.quicsim.connection import QuicClientConnection, QuicConfig, QuicServerListener
@@ -122,3 +145,137 @@ def test_property_quic_concurrent_streams_isolated(payloads):
         conn.open_stream(payload, lambda data, i=index: results.setdefault(i, data))
     net.run()
     assert results == {index: payload for index, payload in enumerate(payloads)}
+
+# ---------------------------------------------------------------------------
+# Canonical-normalizer invariants (the answer differ rests on these)
+# ---------------------------------------------------------------------------
+
+_LABEL_BYTES = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+
+@st.composite
+def dns_names(draw):
+    """Names with mixed-case labels — the normalizer must fold them."""
+    labels = []
+    for _ in range(draw(st.integers(1, 4))):
+        size = draw(st.integers(1, 8))
+        labels.append(bytes(draw(st.sampled_from(_LABEL_BYTES)) for _ in range(size)))
+    return Name(labels)
+
+
+@st.composite
+def answer_records(draw):
+    owner = draw(dns_names())
+    ttl = draw(st.integers(0, 200_000))
+    kind = draw(st.sampled_from(["a", "aaaa", "cname", "mx", "txt"]))
+    if kind == "a":
+        octets = [draw(st.integers(0, 255)) for _ in range(3)]
+        return ResourceRecord(
+            owner, TYPE_A, CLASS_IN, ttl, ARdata("10.%d.%d.%d" % tuple(octets))
+        )
+    if kind == "aaaa":
+        return ResourceRecord(
+            owner, TYPE_AAAA, CLASS_IN, ttl,
+            AaaaRdata("2001:db8::%x" % draw(st.integers(0, 0xFFFF))),
+        )
+    if kind == "cname":
+        return ResourceRecord(
+            owner, TYPE_CNAME, CLASS_IN, ttl, CnameRdata(draw(dns_names()))
+        )
+    if kind == "mx":
+        return ResourceRecord(
+            owner, TYPE_MX, CLASS_IN, ttl,
+            MxRdata(draw(st.integers(0, 100)), draw(dns_names())),
+        )
+    return ResourceRecord(
+        owner, TYPE_TXT, CLASS_IN, ttl,
+        TxtRdata([bytes(draw(st.sampled_from(_LABEL_BYTES))
+                        for _ in range(draw(st.integers(1, 12))))]),
+    )
+
+
+@st.composite
+def response_messages(draw):
+    """Arbitrary response messages: any rcode, TC bit, mixed answer types."""
+    qname = draw(dns_names())
+    return Message(
+        header=Header(
+            msg_id=draw(st.integers(0, 0xFFFF)),
+            qr=True,
+            tc=draw(st.booleans()),
+            ra=True,
+            rcode=draw(st.integers(0, 5)),
+        ),
+        questions=[Question(qname, TYPE_A, CLASS_IN)],
+        answers=draw(st.lists(answer_records(), max_size=5)),
+    )
+
+
+@given(message=response_messages())
+def test_property_normalize_is_idempotent(message):
+    once = normalize_message(message)
+    assert normalize_message(once).to_wire() == once.to_wire()
+
+
+@given(message=response_messages(), seed=st.randoms(use_true_random=False))
+def test_property_canonical_form_ignores_answer_order(message, seed):
+    shuffled = Message(
+        header=message.header,
+        questions=list(message.questions),
+        answers=list(message.answers),
+    )
+    seed.shuffle(shuffled.answers)
+    assert canonical_form(shuffled) == canonical_form(message)
+
+
+@given(message=response_messages())
+def test_property_canonical_form_ignores_name_case(message):
+    def upper(name):
+        return Name(tuple(label.upper() for label in name.labels))
+
+    def upper_rdata(rdata):
+        if isinstance(rdata, CnameRdata):
+            return CnameRdata(upper(rdata.target))
+        if isinstance(rdata, MxRdata):
+            return MxRdata(rdata.preference, upper(rdata.exchange))
+        return rdata
+
+    shouted = Message(
+        header=message.header,
+        questions=[Question(upper(q.qname), q.qtype, q.qclass) for q in message.questions],
+        answers=[
+            ResourceRecord(upper(r.name), r.rdtype, r.rdclass, r.ttl, upper_rdata(r.rdata))
+            for r in message.answers
+        ],
+    )
+    assert canonical_form(shouted) == canonical_form(message)
+
+
+@given(message=response_messages())
+def test_property_self_diff_is_empty_through_the_wire(message):
+    """diff(normalize(m), normalize(m)) == [] even after a wire round trip."""
+    form = canonical_form(message)
+    rewired = canonical_form_from_wire(message.to_wire())
+    assert diff_forms(rewired, form) == []
+    assert classify([], rewired, form) == "agree"
+
+
+@given(ttl=st.integers(0, 10_000_000))
+def test_property_ttl_band_floor_is_band_stable(ttl):
+    """A TTL and its band floor always land in the same band; floors are
+    fixed points."""
+    floor = ttl_band_floor(ttl)
+    assert floor <= ttl
+    assert ttl_band(floor) == ttl_band(ttl)
+    assert ttl_band_floor(floor) == floor
+
+
+@given(observed=response_messages(), expected=response_messages())
+def test_property_classify_is_total_over_the_taxonomy(observed, expected):
+    obs, exp = canonical_form(observed), canonical_form(expected)
+    fields = diff_forms(obs, exp)
+    label = classify(fields, obs, exp)
+    if fields:
+        assert label in TAXONOMY
+    else:
+        assert label == "agree"

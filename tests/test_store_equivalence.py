@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
 from repro.core.runner import Campaign
 from repro.experiments.campaigns import (
     EC2_VANTAGE_NAMES,
@@ -94,6 +96,7 @@ def _parallel_store_run(seed: int, workers: int, store_dir, segment_records=256)
     )
 
 
+@pytest.mark.slow
 def test_sharded_store_runs_byte_identical_across_worker_counts(tmp_path):
     serial = _parallel_store_run(17, 1, tmp_path / "w1")
     assert not serial.pool_used
@@ -109,6 +112,7 @@ def test_sharded_store_runs_byte_identical_across_worker_counts(tmp_path):
     assert not (tmp_path / "w1" / ".staging").exists()
 
 
+@pytest.mark.slow
 def test_sharded_store_run_matches_nonstore_records(tmp_path):
     """The store path persists exactly the records the plain path merges."""
     plain = run_campaign_parallel(
@@ -129,6 +133,7 @@ def test_sharded_store_run_matches_nonstore_records(tmp_path):
 # ---------------------------------------------------------------------------
 
 
+@pytest.mark.slow
 def test_campaign_aggregates_match_full_scan(tmp_path):
     from repro.analysis.availability import (
         availability_report,
