@@ -29,18 +29,41 @@ class ResolverDrift:
     later_availability: float
 
     @property
-    def latency_ratio(self) -> float:
-        if self.base_median_ms <= 0:
-            return float("inf")
+    def has_baseline(self) -> bool:
+        """Whether the baseline median supports a meaningful ratio.
+
+        A non-positive baseline median (no successful baseline samples,
+        or a degenerate zero-duration median) gives the latency ratio no
+        denominator — such resolvers are reported as ``no-baseline``
+        rather than flagged as drifted on an infinite ratio.
+        """
+        return self.base_median_ms > 0
+
+    @property
+    def latency_ratio(self) -> Optional[float]:
+        if not self.has_baseline:
+            return None
         return self.later_median_ms / self.base_median_ms
 
     @property
     def availability_delta(self) -> float:
         return self.later_availability - self.base_availability
 
+    def status(self, latency_factor: float, availability_drop: float) -> str:
+        """``"stable"``, ``"drifted"``, or ``"no-baseline"``."""
+        if not self.has_baseline:
+            return "no-baseline"
+        return (
+            "drifted"
+            if self.drifted(latency_factor, availability_drop)
+            else "stable"
+        )
+
     def drifted(self, latency_factor: float, availability_drop: float) -> bool:
         ratio = self.latency_ratio
-        if ratio > latency_factor or ratio < 1.0 / latency_factor:
+        if ratio is not None and (
+            ratio > latency_factor or ratio < 1.0 / latency_factor
+        ):
             return True
         return self.availability_delta < -availability_drop
 
@@ -56,34 +79,56 @@ class DriftReport:
     availability_drop: float = 0.2
 
     @property
+    def comparable(self) -> List[ResolverDrift]:
+        """Resolvers with a usable latency baseline."""
+        return [drift for drift in self.per_resolver if drift.has_baseline]
+
+    @property
+    def no_baseline(self) -> List[ResolverDrift]:
+        """Resolvers with no usable baseline median — reported, not flagged."""
+        return [drift for drift in self.per_resolver if not drift.has_baseline]
+
+    @property
     def drifted(self) -> List[ResolverDrift]:
         return [
             drift
-            for drift in self.per_resolver
+            for drift in self.comparable
             if drift.drifted(self.latency_factor, self.availability_drop)
         ]
 
     @property
     def stable_fraction(self) -> float:
-        if not self.per_resolver:
+        comparable = self.comparable
+        if not comparable:
             return 1.0
-        return 1.0 - len(self.drifted) / len(self.per_resolver)
+        return 1.0 - len(self.drifted) / len(comparable)
 
     @property
     def median_latency_ratio(self) -> float:
-        ratios = [d.latency_ratio for d in self.per_resolver if d.base_median_ms > 0]
+        ratios = [
+            drift.latency_ratio
+            for drift in self.per_resolver
+            if drift.latency_ratio is not None
+        ]
         return median(ratios) if ratios else 1.0
 
     def describe(self) -> str:
+        no_baseline = self.no_baseline
+        suffix = f", {len(no_baseline)} without baseline" if no_baseline else ""
         lines = [
             f"{self.later_campaign} vs {self.base_campaign}: "
-            f"{self.stable_fraction:.0%} of {len(self.per_resolver)} resolvers stable "
-            f"(median latency ratio {self.median_latency_ratio:.2f})",
+            f"{self.stable_fraction:.0%} of {len(self.comparable)} resolvers stable "
+            f"(median latency ratio {self.median_latency_ratio:.2f}{suffix})",
         ]
-        for drift in sorted(self.drifted, key=lambda d: -d.latency_ratio):
+        for drift in sorted(self.drifted, key=lambda d: -(d.latency_ratio or 0.0)):
             lines.append(
                 f"  DRIFT {drift.resolver}: {drift.base_median_ms:.0f} -> "
                 f"{drift.later_median_ms:.0f} ms "
+                f"(avail {drift.base_availability:.0%} -> {drift.later_availability:.0%})"
+            )
+        for drift in sorted(no_baseline, key=lambda d: d.resolver):
+            lines.append(
+                f"  NO-BASELINE {drift.resolver}: no usable baseline median "
                 f"(avail {drift.base_availability:.0%} -> {drift.later_availability:.0%})"
             )
         return "\n".join(lines)

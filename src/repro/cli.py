@@ -13,6 +13,9 @@ Subcommands:
 * ``diff``    — cross-resolver answer differencing: fan the same queries
   out to every deployment (or read saved captures), diff each response
   against the consensus and classify the disagreements;
+* ``observe`` — run the longitudinal observer fleet over saved results or
+  a months-long observatory campaign, emitting significance events and
+  the world-health index;
 * ``metrics`` — export a saved metrics JSON file as Prometheus text;
 * ``trace``   — run a small traced campaign and export phase-level spans
   (JSONL) and/or a text span tree;
@@ -697,6 +700,125 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_observe(args: argparse.Namespace) -> int:
+    """``observe`` — the longitudinal observer fleet.
+
+    Two modes, mirroring ``diff``: with ``--input`` the fleet replays
+    saved results (JSONL file or warehouse directory, streamed); without
+    it the months-long observatory campaign runs first, serial or
+    sharded.  The significance-event JSONL and the world-health index
+    JSONL are byte-identical for any ``--workers N`` and for any record
+    source over the same records.
+    """
+    from repro.errors import ObserverConfigError
+    from repro.experiments.observatory import run_observer_study
+    from repro.obs.metrics import MetricsRegistry
+    from repro.observers import (
+        ObserverFleet,
+        ObserverRegistry,
+        default_registry,
+        scaled_registry,
+    )
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1 (got {args.workers})", file=sys.stderr)
+        return 2
+    if args.events == "-" and args.index == "-":
+        print(
+            "--events - and --index - cannot both own stdout; "
+            "write at least one of them to a file",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        if args.spec:
+            registry = ObserverRegistry.load(args.spec)
+        elif args.min_samples_scale != 1.0:
+            registry = scaled_registry(args.min_samples_scale)
+        else:
+            registry = default_registry()
+        specs = registry.select(args.observers or None)
+    except ObserverConfigError as exc:
+        print(f"observe: {exc}", file=sys.stderr)
+        return 2
+
+    run = None
+    if args.input:
+        records = _record_stream(args.input)
+        metrics = MetricsRegistry()
+    else:
+        run = run_observer_study(
+            world_seed=args.world_seed,
+            months=args.months,
+            rounds_per_month=args.rounds,
+            seed=args.seed,
+            vantage_names=args.vantage or None,
+            target_hostnames=args.resolver or None,
+            workers=args.workers,
+            shard_by=args.shard_by,
+            shards=args.shards,
+            fault_seed=args.fault_seed if args.faults else None,
+            fault_fraction=args.fault_fraction,
+            collect_metrics=bool(args.metrics),
+            store_dir=args.store or None,
+            segment_records=args.segment_records,
+        )
+        _status(run.describe())
+        records = (
+            run.warehouse.iter_sorted()
+            if run.warehouse is not None
+            else run.store.records
+        )
+        # The merged registry is disabled when shards didn't collect; the
+        # observer gauges still need a live registry of their own then.
+        metrics = run.metrics if run.metrics.enabled else MetricsRegistry()
+
+    fleet = ObserverFleet(specs)
+    fleet.replay(records)
+    report = fleet.finalize(metrics)
+    _status(
+        f"observed {report.records_seen} records over {report.days_observed} "
+        f"virtual days: {len(report.events.significant())} events, "
+        f"{len(report.events.silences())} silences"
+    )
+
+    stdout_taken = False
+    if args.events:
+        if args.events == "-":
+            sys.stdout.write(report.events.to_jsonl())
+            stdout_taken = True
+        else:
+            report.events.save_jsonl(args.events)
+            _status(f"wrote {len(report.events)} events to {args.events}")
+    if args.index:
+        if args.index == "-":
+            sys.stdout.write(report.index.to_jsonl())
+            stdout_taken = True
+        else:
+            report.index.save_jsonl(args.index)
+            _status(f"wrote {len(report.index)} health samples to {args.index}")
+    if args.metrics:
+        metrics.save_json(args.metrics)
+        _status(f"wrote metrics to {args.metrics}")
+
+    # The summary owns stdout unless an artifact already claimed it.
+    summary = report.render()
+    if stdout_taken:
+        _status(summary)
+    else:
+        print(summary)
+
+    if args.gate and not report.index.healthy(args.gate_floor):
+        low = report.index.min_score()
+        _status(
+            f"gate: world-health index dipped to {low:.1f} "
+            f"(< floor {args.gate_floor:.1f}) -> failing"
+        )
+        return 1
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """``metrics export`` — Prometheus text from a saved metrics JSON file.
 
@@ -1078,6 +1200,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit non-zero when any resolver is DEGRADED or FAILING",
     )
     p_monitor.set_defaults(func=_cmd_monitor)
+
+    p_observe = sub.add_parser(
+        "observe",
+        help="longitudinal observer fleet: significance events + world health",
+    )
+    p_observe.add_argument(
+        "--input", metavar="PATH",
+        help="observe saved results (JSONL file or warehouse directory, "
+             "streamed) instead of running the observatory campaign",
+    )
+    p_observe.add_argument(
+        "--months", type=int, default=4,
+        help="monthly measurement windows in the observatory campaign",
+    )
+    p_observe.add_argument(
+        "--rounds", type=int, default=6, help="rounds per monthly window"
+    )
+    p_observe.add_argument("--seed", type=int, default=606, help="campaign seed")
+    p_observe.add_argument("--world-seed", type=int, default=0)
+    p_observe.add_argument(
+        "--vantage", nargs="+", default=None,
+        help="vantage names (default: the three EC2 vantages)",
+    )
+    p_observe.add_argument("--resolver", nargs="*", help="hostnames (default: all)")
+    p_observe.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the campaign across N worker processes; events and "
+             "index are byte-identical for any N given the same seed",
+    )
+    p_observe.add_argument(
+        "--shard-by", choices=["vantage", "resolver", "round"], default="vantage",
+    )
+    p_observe.add_argument("--shards", type=int, default=None, metavar="K")
+    p_observe.add_argument(
+        "--store", metavar="DIR",
+        help="stream campaign records into a results warehouse at DIR "
+             "(the fleet then replays the warehouse)",
+    )
+    p_observe.add_argument("--segment-records", type=int, default=4096, metavar="N")
+    p_observe.add_argument(
+        "--observers", nargs="+", metavar="NAME",
+        help="restrict the fleet to these observers (default: all)",
+    )
+    p_observe.add_argument(
+        "--spec", metavar="FILE",
+        help="observer registry (TOML/JSON file; default: the built-in five)",
+    )
+    p_observe.add_argument(
+        "--min-samples-scale", type=float, default=1.0, metavar="F",
+        help="scale every observer's per-day sample gate (small demo "
+             "campaigns need lower gates than a production stream)",
+    )
+    p_observe.add_argument(
+        "--events", metavar="PATH",
+        help="write the significance-event JSONL to PATH, or '-' for "
+             "stdout (the summary then moves to stderr)",
+    )
+    p_observe.add_argument(
+        "--index", metavar="PATH",
+        help="write the world-health index JSONL to PATH, or '-' for stdout",
+    )
+    p_observe.add_argument(
+        "--metrics", metavar="PATH",
+        help="write a metrics JSON snapshot including observer.* gauges",
+    )
+    p_observe.add_argument(
+        "--faults", action="store_true",
+        help="inject a seeded fault plan spanning the whole horizon so "
+             "availability and error-share observers have dips to find",
+    )
+    p_observe.add_argument("--fault-seed", type=int, default=20230919)
+    p_observe.add_argument(
+        "--fault-fraction", type=float, default=0.10,
+        help="expected impaired time fraction of the fault plan",
+    )
+    p_observe.add_argument(
+        "--gate", action="store_true",
+        help="exit non-zero when the world-health index dips below the floor",
+    )
+    p_observe.add_argument(
+        "--gate-floor", type=float, default=70.0, metavar="SCORE",
+    )
+    p_observe.set_defaults(func=_cmd_observe)
 
     p_metrics = sub.add_parser(
         "metrics", help="export saved metrics as Prometheus text"

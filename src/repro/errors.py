@@ -175,6 +175,11 @@ class MonitorConfigError(MeasurementError):
     unknown objective kind, malformed policy file)."""
 
 
+class ObserverConfigError(MeasurementError):
+    """An observer spec or fleet configuration is invalid (unknown metric
+    kind or scope, bad baseline parameters, malformed spec file)."""
+
+
 class CatalogError(ReproError):
     """Raised for unknown resolvers or malformed catalog entries."""
 

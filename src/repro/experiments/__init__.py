@@ -19,6 +19,11 @@ from repro.experiments.campaigns import (
     run_fault_study,
     run_study,
 )
+from repro.experiments.observatory import (
+    observe_run,
+    observer_campaign_configs,
+    run_observer_study,
+)
 from repro.experiments.paper import PaperReport, generate_report
 
 __all__ = [
@@ -30,6 +35,9 @@ __all__ = [
     "generate_report",
     "home_campaign_config",
     "monthly_recheck_config",
+    "observe_run",
+    "observer_campaign_configs",
     "run_fault_study",
+    "run_observer_study",
     "run_study",
 ]

@@ -145,6 +145,32 @@ class World:
                     site.engine.resolve_question(qname, TYPE_A, lambda _r: None)
         self.network.run()
 
+    def schedule_cache_refresh(
+        self, at_ms: float, domains: Sequence[str] = STUDY_DOMAIN_NAMES
+    ) -> None:
+        """Re-warm every resolver's study-domain cache at a virtual instant.
+
+        The build-time warm models the steady state kept alive by other
+        clients' background demand, but its effect decays at the record
+        TTL horizon (``STUDY_TTL``, 30 virtual days).  A campaign whose
+        schedule starts deeper into virtual time than that would measure
+        cold caches a real popular domain never shows; scheduling a
+        refresh shortly before the first round restores the steady state.
+        The refresh is a no-op on still-valid caches (pure cache hits,
+        no network traffic), so arming it is always safe.
+        """
+        names = [Name.from_text(domain) for domain in domains]
+
+        def _refresh() -> None:
+            for deployment in self.deployments.values():
+                for site in deployment.sites:
+                    if site.host.blackholed or site.engine is None:
+                        continue
+                    for qname in names:
+                        site.engine.resolve_question(qname, TYPE_A, lambda _r: None)
+
+        self.network.loop.call_at(at_ms, _refresh)
+
 
 def build_world(
     seed: int = 0,

@@ -281,6 +281,14 @@ class MetricsRegistry:
             if key.startswith(prefix)
         }
 
+    def gauges_matching(self, prefix: str) -> Dict[str, float]:
+        """All gauges whose key starts with ``prefix``."""
+        return {
+            key: gauge.value
+            for key, gauge in self._gauges.items()
+            if key.startswith(prefix)
+        }
+
     def clear(self) -> None:
         self._counters.clear()
         self._gauges.clear()

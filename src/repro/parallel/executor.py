@@ -25,6 +25,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.results import MeasurementRecord, ResultStore
 from repro.core.runner import Campaign, CampaignConfig
+from repro.core.scheduler import MS_PER_HOUR
 from repro.errors import CampaignConfigError
 from repro.obs import (
     NULL_RECORDER,
@@ -188,6 +189,14 @@ def execute_shard(task: ShardTask) -> ShardResult:
         task.config,
         schedule=task.config.schedule.slice_rounds(task.round_start, task.round_stop),
     )
+    if task.warm_caches:
+        # The build-time warm decays at the study-domain TTL; a campaign
+        # scheduled deep into virtual time (the observatory's monthly
+        # windows) re-warms just ahead of its first round so every month
+        # measures the same always-cached steady state.
+        refresh_at = config.schedule.start_ms - MS_PER_HOUR
+        if refresh_at > world.network.loop.now:
+            world.schedule_cache_refresh(refresh_at)
     recorder = SpanCollector() if task.collect_spans else NULL_RECORDER
     metrics = MetricsRegistry(enabled=task.collect_metrics)
     warehouse_path: Optional[str] = None

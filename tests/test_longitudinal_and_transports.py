@@ -78,6 +78,48 @@ class TestLongitudinal:
         with pytest.raises(AnalysisError):
             drift_report(self._store(), "base", "nonexistent")
 
+    def test_zero_baseline_median_reports_no_baseline_not_drift(self):
+        """Regression: an ``inf`` latency ratio used to flag every resolver
+        whose baseline median was 0 as drifted; such resolvers must surface
+        as a distinct no-baseline status instead."""
+        store = self._store()
+        for value in (10.0, 12.0, 14.0):
+            store.add(record("base", "fresh.example", 0.0, started=0.0))
+            store.add(record("later", "fresh.example", value, started=1000.0))
+        report = drift_report(store, "base", "later")
+        by_name = {d.resolver: d for d in report.per_resolver}
+        fresh = by_name["fresh.example"]
+        assert not fresh.has_baseline
+        assert fresh.latency_ratio is None
+        assert fresh.status(report.latency_factor, report.availability_drop) == (
+            "no-baseline"
+        )
+        assert "fresh.example" not in {d.resolver for d in report.drifted}
+        assert [d.resolver for d in report.no_baseline] == ["fresh.example"]
+        # The stable fraction is computed over comparable resolvers only,
+        # and the summary names the no-baseline resolver distinctly.
+        assert report.stable_fraction == 0.5
+        text = report.describe()
+        assert "NO-BASELINE fresh.example" in text
+        assert "1 without baseline" in text
+        assert "DRIFT fresh.example" not in text
+        # The median ratio skips the undefined entry.
+        assert report.median_latency_ratio == pytest.approx((5.0 + 13.0 / 12.0) / 2)
+
+    def test_no_baseline_with_availability_drop_still_drifts(self):
+        store = ResultStore()
+        for index in range(4):
+            store.add(record("base", "r.example", 0.0, started=0.0))
+            success = index == 0  # 25% availability later
+            store.add(
+                record("later", "r.example", 10.0, success=success, started=1000.0)
+            )
+        report = drift_report(store, "base", "later")
+        # No latency baseline, but the availability collapse is real: the
+        # resolver reports as no-baseline, not silently dropped.
+        assert [d.resolver for d in report.no_baseline] == ["r.example"]
+        assert not report.drifted
+
     def test_reports_over_time(self):
         store = self._store()
         for value in (11.0, 13.0):
