@@ -44,6 +44,18 @@ from repro.analysis.longitudinal import (
     drift_report,
     drift_reports_over_time,
 )
+from repro.analysis.sessions import (
+    SessionCell,
+    WarmColdDelta,
+    ZeroRttAcceptance,
+    render_session_cells,
+    render_warm_cold_table,
+    render_zero_rtt_table,
+    session_cells,
+    session_report,
+    warm_cold_deltas,
+    zero_rtt_acceptance,
+)
 
 __all__ = [
     "AvailabilityReport",
@@ -56,7 +68,10 @@ __all__ = [
     "latency_correlation",
     "PhaseBreakdown",
     "PhaseDelta",
+    "SessionCell",
     "VantageDelta",
+    "WarmColdDelta",
+    "ZeroRttAcceptance",
     "availability_report",
     "error_phases",
     "phase_breakdown",
@@ -65,6 +80,13 @@ __all__ = [
     "render_error_phases",
     "render_phase_delta_table",
     "render_phase_table",
+    "render_session_cells",
+    "render_warm_cold_table",
+    "render_zero_rtt_table",
+    "session_cells",
+    "session_report",
+    "warm_cold_deltas",
+    "zero_rtt_acceptance",
     "figure_rows",
     "largest_vantage_deltas",
     "local_winners",

@@ -162,10 +162,10 @@ CATALOG: List[CatalogEntry] = [
     # NextDNS also serves DoQ in production.
     _e("anycast.dns.nextdns.io", "NextDNS", "NA", _NEXTDNS_SITES, mainstream=True,
        perf_override=_PERF_NEXTDNS, reliability="solid",
-       transports=("doh", "dot", "do53", "doq")),
+       transports=("doh", "dot", "do53", "doq", "doh3")),
     _e("dns.nextdns.io", "NextDNS", "NA", _NEXTDNS_SITES, mainstream=True,
        perf_override=_PERF_NEXTDNS, reliability="solid",
-       transports=("doh", "dot", "do53", "doq")),
+       transports=("doh", "dot", "do53", "doq", "doh3")),
     _e("doh.opendns.com", "Cisco OpenDNS", "NA", _OPENDNS_SITES, mainstream=True,
        perf="quick", reliability="rock"),
     _e("doh.cleanbrowsing.org", "CleanBrowsing", "NA", _CLEANBROWSING_SITES,
@@ -210,11 +210,11 @@ CATALOG: List[CatalogEntry] = [
        perf_override=_PERF_QUAD9, reliability="solid"),
     # AdGuard runs DoQ in production alongside DoH/DoT.
     _e("dns.adguard.com", "AdGuard", "EU", _ADGUARD_SITES, perf="quick",
-       reliability="solid", transports=("doh", "dot", "do53", "doq")),
+       reliability="solid", transports=("doh", "dot", "do53", "doq", "doh3")),
     _e("dns-family.adguard.com", "AdGuard", "EU", _ADGUARD_SITES, perf="quick",
-       reliability="solid", transports=("doh", "dot", "do53", "doq")),
+       reliability="solid", transports=("doh", "dot", "do53", "doq", "doh3")),
     _e("dns-unfiltered.adguard.com", "AdGuard", "EU", _ADGUARD_SITES, perf="quick",
-       reliability="solid", transports=("doh", "dot", "do53", "doq")),
+       reliability="solid", transports=("doh", "dot", "do53", "doq", "doh3")),
     _e("doh.dnscrypt.uk", "dnscrypt.uk", "EU", "london", perf="normal",
        reliability="good"),
     _e("v.dnscrypt.uk", "dnscrypt.uk", "EU", "london", perf="normal",

@@ -16,6 +16,9 @@ Subcommands:
 * ``observe`` — run the longitudinal observer fleet over saved results or
   a months-long observatory campaign, emitting significance events and
   the world-health index;
+* ``sessions`` — run the session-policy scenario matrix (cold /
+  keep-alive / resumption / 0-RTT across DoH, DoT, DoQ, DoH/3) and print
+  the per-policy state, warm-vs-cold p95 and 0-RTT acceptance tables;
 * ``metrics`` — export a saved metrics JSON file as Prometheus text;
 * ``trace``   — run a small traced campaign and export phase-level spans
   (JSONL) and/or a text span tree;
@@ -567,6 +570,70 @@ def _cmd_diff(args: argparse.Namespace) -> int:
         _status(f"wrote {len(report)} diff records to {args.output}")
     print(report.render(), end="")
     return 0
+
+
+def _cmd_sessions(args: argparse.Namespace) -> int:
+    """``sessions`` — the transport × session-policy scenario matrix.
+
+    Runs the same campaign once per policy (same seed, schedule and
+    world, so per-measurement RNG streams are identical across policies)
+    and prints the study tables.  With ``--gate`` the exit status
+    becomes a regression check: 0 only if the warm-path p95 beats the
+    within-run cold-path p95 for both DoH and DoQ under every policy
+    that produced a warm path.
+    """
+    from repro.analysis.sessions import session_report, warm_cold_deltas
+    from repro.experiments.campaigns import SESSION_STUDY_POLICIES, run_sessions_study
+
+    if args.workers < 1:
+        print(f"--workers must be >= 1 (got {args.workers})", file=sys.stderr)
+        return 2
+
+    runs = run_sessions_study(
+        policies=tuple(args.policy) if args.policy else SESSION_STUDY_POLICIES,
+        world_seed=args.world_seed,
+        rounds=args.rounds,
+        seed=args.seed,
+        transports=tuple(args.transport),
+        domains=args.domain or None,
+        vantage_names=args.vantage or None,
+        target_hostnames=args.resolver or None,
+        workers=args.workers,
+        shard_by=args.shard_by,
+        shards=args.shards,
+        store_dir=args.store or None,
+        segment_records=args.segment_records,
+    )
+    for name, run in runs.items():
+        _status(f"{name}: {run.describe()}")
+
+    report = session_report(runs, per_vantage=args.per_vantage)
+    if args.output:
+        Path(args.output).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        _status(f"wrote session report to {args.output}")
+    print(report)
+
+    if not args.gate:
+        return 0
+    deltas = warm_cold_deltas(runs)
+    gated = tuple(args.gate_transport)
+    failed = False
+    for transport in gated:
+        rows = [d for d in deltas if d.transport == transport]
+        if not rows:
+            _status(f"gate: {transport}: FAIL (no warm-path records)")
+            failed = True
+            continue
+        for row in rows:
+            verdict = "ok" if row.warm_faster else "FAIL"
+            _status(
+                f"gate: {transport}/{row.policy}: {verdict} "
+                f"(warm p95 {row.warm_p95_ms:.1f} ms vs "
+                f"cold p95 {row.cold_p95_ms:.1f} ms)"
+            )
+            failed = failed or not row.warm_faster
+    return 1 if failed else 0
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -1157,6 +1224,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the per-cell diff records as JSONL",
     )
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_sessions = sub.add_parser(
+        "sessions",
+        help="transport x session-policy scenario matrix (reuse/resumption/0-RTT)",
+    )
+    p_sessions.add_argument(
+        "--policy", nargs="+", default=None,
+        choices=["cold", "keep-alive", "resumption", "zero-rtt"],
+        help="policy presets to sweep (default: all four)",
+    )
+    p_sessions.add_argument(
+        "--transport", nargs="+", default=["doh", "dot", "doq", "doh3"],
+        choices=["doh", "dot", "doq", "doh3"],
+        help="transports in the matrix (default: all session transports)",
+    )
+    p_sessions.add_argument("--rounds", type=int, default=3)
+    p_sessions.add_argument("--seed", type=int, default=606, help="campaign seed")
+    p_sessions.add_argument("--world-seed", type=int, default=0)
+    p_sessions.add_argument(
+        "--vantage", nargs="+", default=None,
+        help="vantage names (default: the three EC2 vantages)",
+    )
+    p_sessions.add_argument(
+        "--resolver", nargs="*",
+        help="hostnames (default: the five deployments speaking all four "
+             "session transports)",
+    )
+    p_sessions.add_argument(
+        "--domain", nargs="*",
+        help="query domains (default: the campaign's study domains)",
+    )
+    p_sessions.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard each policy run across N worker processes; the report "
+             "is byte-identical for any N given the same seed",
+    )
+    p_sessions.add_argument(
+        "--shard-by", choices=["vantage", "resolver", "round"], default="vantage",
+    )
+    p_sessions.add_argument("--shards", type=int, default=None, metavar="K")
+    p_sessions.add_argument(
+        "--store", metavar="DIR",
+        help="stream each policy run into a per-policy warehouse under DIR "
+             "(the report is then built from the warehouses)",
+    )
+    p_sessions.add_argument("--segment-records", type=int, default=4096, metavar="N")
+    p_sessions.add_argument(
+        "--per-vantage", action="store_true",
+        help="break the scenario-matrix table down per vantage point",
+    )
+    p_sessions.add_argument(
+        "--output", metavar="PATH", help="also write the report to PATH",
+    )
+    p_sessions.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 unless warm-path p95 beats the within-run cold-path "
+             "p95 for every gated transport under every warm policy",
+    )
+    p_sessions.add_argument(
+        "--gate-transport", nargs="+", default=["doh", "doq"],
+        choices=["doh", "dot", "doq", "doh3"],
+        help="transports the --gate check covers (default: doh doq)",
+    )
+    p_sessions.set_defaults(func=_cmd_sessions)
 
     p_store = sub.add_parser("store", help="inspect or compact a results warehouse")
     p_store.add_argument(

@@ -26,7 +26,9 @@ from repro.dnswire.message import Message
 from repro.dnswire.types import RCODE_NOERROR, TYPE_A
 from repro.errors import (
     CampaignConfigError,
+    ConnectionReset,
     DnsWireError,
+    FramingError,
     HttpStatusError,
     ProbeTimeout,
 )
@@ -84,6 +86,12 @@ class ProbeOutcome:
     #: whenever a well-formed response was parsed (including non-NOERROR
     #: responses); ``None`` when the probe never got a parseable message.
     response_wire: Optional[bytes] = None
+    #: How the transport session was (re)used: ``cold`` (full
+    #: establishment), ``warm`` (kept-alive connection), ``resumed``
+    #: (abbreviated 1-RTT handshake from a session ticket) or
+    #: ``zero_rtt`` (accepted early data).  ``None`` for transports
+    #: without session semantics (Do53, ping) and for failed probes.
+    session_state: Optional[str] = None
 
     @classmethod
     def failure(cls, duration_ms: Optional[float], exc: BaseException) -> "ProbeOutcome":
@@ -96,6 +104,17 @@ class ProbeOutcome:
 
 
 OutcomeCallback = Callable[[ProbeOutcome], None]
+
+
+def _session_state(reused: bool, used_early_data: bool, resumed: bool) -> str:
+    """Collapse connection/handshake flags into the record's session state."""
+    if reused:
+        return "warm"
+    if used_early_data:
+        return "zero_rtt"
+    if resumed:
+        return "resumed"
+    return "cold"
 
 #: Phases whose durations roll up into ``ProbeOutcome.query_ms``.
 _QUERY_PHASES = ("http_exchange", "dns_exchange", "dns_parse")
@@ -174,6 +193,11 @@ class DohProbeConfig:
     reuse_connections: bool = False
     session_cache: Optional[SessionCache] = None
     enable_early_data: bool = False
+    #: Probability a 0-RTT attempt is rejected by the server's anti-replay
+    #: filter (drawn from the probe's own RNG; see TlsClientConfig).
+    early_data_reject_p: float = 0.0
+    #: Certificate-validation cost charged to full (non-resumed) handshakes.
+    cert_verify_ms: float = 0.0
     doh_path: str = "/dns-query"
 
     def __post_init__(self) -> None:
@@ -263,6 +287,9 @@ class DohProbe:
             alpn=tuple(self.config.http_versions),
             session_cache=self.config.session_cache,
             enable_early_data=self.config.enable_early_data,
+            early_data_reject_p=self.config.early_data_reject_p,
+            early_data_rng=self.rng,
+            cert_verify_ms=self.config.cert_verify_ms,
         )
 
         def on_tls_established(tls: TlsClientConnection) -> None:
@@ -380,6 +407,9 @@ class DohProbe:
             outcome.http_status = response.status
             outcome.http_version = "h2" if tls.negotiated_alpn == "h2" else "http/1.1"
             outcome.tls_version = tls.negotiated_version
+            outcome.session_state = _session_state(
+                reused, tls.used_early_data, tls.resumed
+            )
             shot.finish(outcome)
             return
         clock.enter("dns_parse")
@@ -403,6 +433,7 @@ class DohProbe:
             connection_reused=reused,
             answers=message.answer_addresses(),
             response_wire=dns_wire,
+            session_state=_session_state(reused, tls.used_early_data, tls.resumed),
         )
         shot.finish(outcome)
 
@@ -420,6 +451,9 @@ class DotProbeConfig:
     timeout_ms: float = DEFAULT_TIMEOUT_MS
     reuse_connections: bool = False
     session_cache: Optional[SessionCache] = None
+    enable_early_data: bool = False
+    early_data_reject_p: float = 0.0
+    cert_verify_ms: float = 0.0
 
     def __post_init__(self) -> None:
         _validate_timeout_ms(self.timeout_ms)
@@ -478,6 +512,10 @@ class DotProbe:
             versions=tuple(self.config.tls_versions),
             alpn=("dot",),
             session_cache=self.config.session_cache,
+            enable_early_data=self.config.enable_early_data,
+            early_data_reject_p=self.config.early_data_reject_p,
+            early_data_rng=self.rng,
+            cert_verify_ms=self.config.cert_verify_ms,
         )
 
         def on_tls(tls: TlsClientConnection) -> None:
@@ -537,11 +575,30 @@ class DotProbe:
                         connection_reused=reused,
                         answers=message.answer_addresses(),
                         response_wire=wire,
+                        session_state=_session_state(
+                            reused, tls.used_early_data, tls.resumed
+                        ),
                     )
                 )
                 return
 
+        def on_close() -> None:
+            # Peer FIN while we still await the response: a half-delivered
+            # frame is a mid-stream truncation (named FramingError), a
+            # clean boundary is an ordinary reset.
+            if shot.done:
+                return
+            try:
+                stream.finish()
+            except FramingError as exc:
+                shot.fail(exc)
+            else:
+                shot.fail(
+                    ConnectionReset("server closed the DoT stream before responding")
+                )
+
         tls.on_application_data = on_app_data
+        tls.on_close = on_close
         tls.send_application(framed)
 
     def close(self) -> None:
@@ -720,6 +777,8 @@ class DoqProbeConfig:
     reuse_connections: bool = False
     session_cache: Optional[SessionCache] = None
     enable_early_data: bool = True
+    early_data_reject_p: float = 0.0
+    cert_verify_ms: float = 0.0
 
     def __post_init__(self) -> None:
         _validate_timeout_ms(self.timeout_ms)
@@ -779,7 +838,13 @@ class DoqProbe:
         query = make_query(domain, qtype, msg_id=0, rng=self.rng)
         framed = _LengthPrefixedStream.frame(query.to_wire())
 
-        def on_response_bytes(data: bytes) -> None:
+        live = self._live_conn if self.config.reuse_connections else None
+        # Decide reuse up front: by response time the fresh connection has
+        # already been stored in _live_conn, so testing it then would
+        # misreport a first query on a kept-alive probe as "warm".
+        reused = live is not None and not live.closed
+
+        def on_response_bytes(conn, data: bytes) -> None:
             if shot.done:
                 return
             clock.enter("dns_parse")
@@ -793,7 +858,6 @@ class DoqProbe:
                 shot.fail(exc)
                 return
             success = message.rcode == RCODE_NOERROR
-            reused = self.config.reuse_connections and self._live_conn is not None
             shot.finish(
                 ProbeOutcome(
                     duration_ms=shot.elapsed_ms,
@@ -805,18 +869,23 @@ class DoqProbe:
                     connection_reused=reused,
                     answers=message.answer_addresses(),
                     response_wire=messages[0],
+                    session_state=_session_state(
+                        reused, conn.used_early_data, conn.resumed
+                    ),
                 )
             )
 
-        conn = self._live_conn if self.config.reuse_connections else None
-        if conn is not None and not conn.closed:
+        if reused:
             clock.enter("dns_exchange")
-            conn.open_stream(framed, on_response_bytes)
+            live.open_stream(framed, lambda data: on_response_bytes(live, data))
             return
 
         quic_config = QuicConfig(
             session_cache=self.config.session_cache,
             enable_early_data=self.config.enable_early_data,
+            early_data_reject_p=self.config.early_data_reject_p,
+            early_data_rng=self.rng,
+            cert_verify_ms=self.config.cert_verify_ms,
             connect_timeout_ms=max(1.0, self.config.timeout_ms - 1.0),
         )
 
@@ -833,7 +902,177 @@ class DoqProbe:
             self._live_conn = conn
         else:
             shot.add_cleanup(conn.close)
-        conn.open_stream(framed, on_response_bytes)
+        conn.open_stream(framed, lambda data: on_response_bytes(conn, data))
+
+    def close(self) -> None:
+        if self._live_conn is not None:
+            self._live_conn.close()
+            self._live_conn = None
+
+
+# ---------------------------------------------------------------------------
+# DoH3
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Doh3ProbeConfig:
+    """Knobs of the DNS-over-HTTP/3 probe."""
+
+    method: str = "POST"
+    timeout_ms: float = DEFAULT_TIMEOUT_MS
+    reuse_connections: bool = False
+    session_cache: Optional[SessionCache] = None
+    enable_early_data: bool = True
+    early_data_reject_p: float = 0.0
+    cert_verify_ms: float = 0.0
+    doh_path: str = "/dns-query"
+
+    def __post_init__(self) -> None:
+        _validate_timeout_ms(self.timeout_ms)
+        if self.method not in ("POST", "GET"):
+            raise CampaignConfigError(
+                f"DoH3 method must be POST or GET, got {self.method!r}"
+            )
+
+
+class Doh3Probe:
+    """DoH over HTTP/3: DoH semantics on a QUIC transport (UDP 443).
+
+    Each query is one HTTP/3 exchange on its own QUIC stream, so the
+    latency profile matches DoQ (combined 1-RTT handshake, 0-RTT when
+    resumed) with DoH's HTTP framing and status codes on top.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        service_ip: str,
+        server_name: str,
+        config: Optional[Doh3ProbeConfig] = None,
+        rng: Optional[random.Random] = None,
+        recorder: Optional[SpanRecorder] = None,
+    ) -> None:
+        self.host = host
+        self.service_ip = service_ip
+        self.server_name = server_name
+        self.config = config or Doh3ProbeConfig()
+        self.rng = rng if rng is not None else random.Random(0)
+        self.recorder = recorder
+        self._live_conn = None
+
+    @property
+    def _loop(self):
+        assert self.host.network is not None
+        return self.host.network.loop
+
+    def query(
+        self,
+        domain: str,
+        on_complete: OutcomeCallback,
+        qtype: int = TYPE_A,
+        span_parent: Optional[int] = None,
+    ) -> None:
+        from repro.httpsim.h3 import (
+            H3CodecError,
+            decode_h3_response,
+            encode_h3_request,
+        )
+        from repro.quicsim.connection import QuicClientConnection, QuicConfig
+
+        clock = PhaseClock(
+            self._loop,
+            self.recorder if self.recorder is not None else get_recorder(),
+            parent_id=span_parent,
+            transport="doh3",
+            server=self.server_name,
+            domain=domain,
+        )
+        shot = _OneShot(
+            self._loop, self.config.timeout_ms, _finalize_phases(clock, on_complete)
+        )
+        query = make_query(domain, qtype, msg_id=0, rng=self.rng)
+        request = encode_doh_request(
+            query.to_wire(), method=self.config.method, path=self.config.doh_path
+        )
+        stream_wire = encode_h3_request(request, host=self.server_name)
+
+        live = self._live_conn if self.config.reuse_connections else None
+        reused = live is not None and not live.closed
+
+        def on_response_bytes(conn, data: bytes) -> None:
+            if shot.done:
+                return
+            clock.enter("dns_parse")
+            state = _session_state(reused, conn.used_early_data, conn.resumed)
+            try:
+                response = decode_h3_response(data)
+            except H3CodecError as exc:
+                shot.fail(exc)
+                return
+            if response.status != 200:
+                outcome = ProbeOutcome.failure(
+                    shot.elapsed_ms, HttpStatusError(response.status)
+                )
+                outcome.http_status = response.status
+                outcome.http_version = "h3"
+                outcome.tls_version = "quic"
+                outcome.session_state = state
+                shot.finish(outcome)
+                return
+            try:
+                dns_wire = decode_doh_response(response)
+                message = Message.from_wire(dns_wire)
+            except (DohCodecError, DnsWireError) as exc:
+                shot.fail(exc)
+                return
+            success = message.rcode == RCODE_NOERROR
+            shot.finish(
+                ProbeOutcome(
+                    duration_ms=shot.elapsed_ms,
+                    success=success,
+                    error_class=None if success else ErrorClass.DNS_RCODE,
+                    error_detail=None if success else f"rcode={message.rcode}",
+                    rcode=message.rcode,
+                    http_status=response.status,
+                    http_version="h3",
+                    tls_version="quic",
+                    response_size=len(response.body),
+                    connection_reused=reused,
+                    answers=message.answer_addresses(),
+                    response_wire=dns_wire,
+                    session_state=state,
+                )
+            )
+
+        if reused:
+            clock.enter("http_exchange")
+            live.open_stream(stream_wire, lambda data: on_response_bytes(live, data))
+            return
+
+        quic_config = QuicConfig(
+            session_cache=self.config.session_cache,
+            enable_early_data=self.config.enable_early_data,
+            early_data_reject_p=self.config.early_data_reject_p,
+            early_data_rng=self.rng,
+            cert_verify_ms=self.config.cert_verify_ms,
+            connect_timeout_ms=max(1.0, self.config.timeout_ms - 1.0),
+        )
+
+        def on_quic_established(_conn) -> None:
+            clock.enter("http_exchange")
+
+        clock.enter("quic_handshake")
+        conn = QuicClientConnection(
+            self.host, self.service_ip, 443, self.server_name,
+            config=quic_config, on_error=shot.fail,
+            on_established=on_quic_established,
+        )
+        if self.config.reuse_connections:
+            self._live_conn = conn
+        else:
+            shot.add_cleanup(conn.close)
+        conn.open_stream(stream_wire, lambda data: on_response_bytes(conn, data))
 
     def close(self) -> None:
         if self._live_conn is not None:

@@ -41,7 +41,7 @@ class MeasurementRecord:
     vantage: str
     resolver: str
     kind: str  # "dns_query" | "ping" | "dns_query_attempt"
-    transport: str  # "doh" | "dot" | "do53" | "icmp"
+    transport: str  # "doh" | "dot" | "do53" | "doq" | "doh3" | "icmp"
     domain: Optional[str]
     round_index: int
     started_at_ms: float
@@ -73,9 +73,24 @@ class MeasurementRecord:
     #: runs with ``capture_responses`` for answer differencing; ``None``
     #: otherwise (and always for pings and unanswered probes).
     response_wire: Optional[str] = None
+    #: Session dimension (see :mod:`repro.session`): how this query's
+    #: transport session was used — ``cold`` / ``warm`` / ``resumed`` /
+    #: ``zero_rtt`` — and which policy mode produced it.  Both are
+    #: ``None`` (and omitted from the JSON form, keeping legacy output
+    #: byte-identical) for campaigns without an active session policy.
+    session_state: Optional[str] = None
+    session_policy: Optional[str] = None
 
     def to_json(self) -> str:
-        return json.dumps(asdict(self), separators=(",", ":"), sort_keys=True)
+        data = asdict(self)
+        # Session fields appeared after the format froze; omit them when
+        # unset so cold/legacy campaigns keep emitting byte-identical
+        # JSONL (the golden-master equivalence suites depend on it).
+        if data["session_state"] is None:
+            del data["session_state"]
+        if data["session_policy"] is None:
+            del data["session_policy"]
+        return json.dumps(data, separators=(",", ":"), sort_keys=True)
 
     @classmethod
     def from_json(cls, line: str) -> "MeasurementRecord":
@@ -198,6 +213,7 @@ class ResultStore:
             record.kind,
             record.domain or "",
             record.attempts,
+            record.transport,
         )
 
     def canonical_sort(self) -> None:

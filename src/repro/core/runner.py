@@ -34,6 +34,10 @@ from repro.obs import (
     get_monitor,
     get_recorder,
 )
+from repro.session import SESSION_TRANSPORTS, SessionBroker, SessionPolicy
+
+#: Transports a campaign can measure (ping rides alongside, not listed).
+VALID_TRANSPORTS = ("doh", "dot", "do53", "doq", "doh3")
 
 #: Error classes a retry can plausibly help with: transient network and
 #: connection-establishment conditions.  Protocol-level failures (bad
@@ -135,7 +139,11 @@ class CampaignConfig:
 
     ``transport`` selects the probe type — the paper's tool "enables
     researchers to issue traditional DNS, DoT, and DoH queries"; the study
-    itself ran DoH, the default here.
+    itself ran DoH, the default here.  ``transports`` (plural) turns the
+    campaign into a scenario matrix: each measurement set sweeps every
+    listed transport in order, and ``session_policy`` decides what happens
+    to connections and session tickets between queries (see
+    :mod:`repro.session`).
     """
 
     name: str
@@ -144,7 +152,16 @@ class CampaignConfig:
         default_factory=lambda: PeriodicSchedule(rounds=3, interval_ms=8 * 3600 * 1000.0)
     )
     transport: str = "doh"
+    #: When set, measure every listed transport per (vantage, target)
+    #: instead of the single ``transport``.  A one-element tuple keeps the
+    #: legacy RNG stream (byte-identical to ``transport=...``); with more
+    #: transports each gets its own derived stream so adding one never
+    #: perturbs another's records.
+    transports: Optional[Sequence[str]] = None
     probe_config: DohProbeConfig = field(default_factory=DohProbeConfig)
+    #: Session management between queries; ``None`` and the ``cold``
+    #: policy are both the legacy per-query-teardown behaviour.
+    session_policy: Optional[SessionPolicy] = None
     ping: bool = True
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     seed: int = 0
@@ -156,8 +173,24 @@ class CampaignConfig:
     def __post_init__(self) -> None:
         if not self.domains:
             raise CampaignConfigError("campaign needs at least one domain")
-        if self.transport not in ("doh", "dot", "do53", "doq"):
+        if self.transport not in VALID_TRANSPORTS:
             raise CampaignConfigError(f"unknown transport {self.transport!r}")
+        if self.transports is not None:
+            if not self.transports:
+                raise CampaignConfigError("transports must list at least one transport")
+            unknown = [t for t in self.transports if t not in VALID_TRANSPORTS]
+            if unknown:
+                raise CampaignConfigError(f"unknown transports {unknown!r}")
+            if len(set(self.transports)) != len(self.transports):
+                raise CampaignConfigError("transports must not repeat")
+            self.transports = tuple(self.transports)
+
+    @property
+    def transport_list(self) -> Sequence[str]:
+        """The transports this campaign measures, in sweep order."""
+        if self.transports is not None:
+            return self.transports
+        return (self.transport,)
 
 
 class Campaign:
@@ -185,6 +218,15 @@ class Campaign:
         self.config = config
         self.store = store if store is not None else ResultStore()
         self.on_round_complete = on_round_complete
+        # One broker per Campaign instance: sharded runs build a fresh
+        # world and a fresh Campaign per shard, so session caches can
+        # never leak across shard boundaries by construction.
+        policy = config.session_policy
+        self._sessions: Optional[SessionBroker] = (
+            SessionBroker(policy, network.loop)
+            if policy is not None and policy.enabled
+            else None
+        )
         # Explicit recorder/metrics/monitor win; otherwise the ambient
         # ones are picked up at run() time (so ``with tracing():`` wraps
         # run()).
@@ -216,7 +258,7 @@ class Campaign:
                 "campaign",
                 loop.now,
                 campaign=self.config.name,
-                transport=self.config.transport,
+                transport=",".join(self.config.transport_list),
                 vantages=len(self.vantages),
                 targets=len(self.targets),
             )
@@ -241,6 +283,8 @@ class Campaign:
                         rng,
                     )
         self.network.run()
+        if self._sessions is not None:
+            self._sessions.close_all()
         if recorder.enabled and self._campaign_span:
             recorder.end(self._campaign_span, loop.now, records=len(self.store))
         if metrics.enabled:
@@ -266,26 +310,85 @@ class Campaign:
             target.hostname,
         )
 
+    def _transport_rng(
+        self,
+        base_rng: random.Random,
+        round_index: int,
+        vantage: VantagePoint,
+        target: ResolverTarget,
+        transport: str,
+    ) -> random.Random:
+        """RNG stream for one transport within a measurement set.
+
+        With a single transport the base measurement stream is used
+        unchanged, so ``transports=("dot",)`` is byte-identical to the
+        legacy ``transport="dot"``.  With a matrix, each transport gets
+        its own derived stream: adding or removing one transport never
+        perturbs another's draws (and hence its records).
+        """
+        if self.config.transports is None or len(self.config.transport_list) == 1:
+            return base_rng
+        return derive_rng(
+            self.config.seed,
+            "measurement",
+            self.config.name,
+            round_index,
+            vantage.name,
+            target.hostname,
+            transport,
+        )
+
     # -- one (vantage, target) measurement set -----------------------------------
 
     def _make_probe(
-        self, vantage: VantagePoint, target: ResolverTarget, rng: random.Random
+        self,
+        transport: str,
+        vantage: VantagePoint,
+        target: ResolverTarget,
+        rng: random.Random,
     ):
-        """Instantiate the probe matching the campaign's transport."""
+        """Instantiate the probe for one transport of the campaign matrix.
+
+        When a session policy is active the broker's wiring overrides the
+        base probe config's reuse/cache/early-data knobs; otherwise the
+        base config passes through unchanged (legacy behaviour).
+        """
         recorder = self._active_recorder
-        if self.config.transport == "doh":
+        base = self.config.probe_config
+        wiring = None
+        if self._sessions is not None:
+            wiring = self._sessions.wiring((vantage.name, target.hostname, transport))
+        if transport == "doh":
             return DohProbe(
                 host=vantage.host,
                 service_ip=target.service_ip,
                 server_name=target.hostname,
-                config=self._probe_config_for(target),
+                config=DohProbeConfig(
+                    method=base.method,
+                    http_versions=base.http_versions,
+                    tls_versions=base.tls_versions,
+                    timeout_ms=base.timeout_ms,
+                    reuse_connections=(
+                        wiring.reuse_connections if wiring else base.reuse_connections
+                    ),
+                    session_cache=(
+                        wiring.session_cache if wiring else base.session_cache
+                    ),
+                    enable_early_data=(
+                        wiring.enable_early_data if wiring else base.enable_early_data
+                    ),
+                    early_data_reject_p=(
+                        wiring.early_data_reject_p if wiring else 0.0
+                    ),
+                    cert_verify_ms=(wiring.cert_verify_ms if wiring else 0.0),
+                    doh_path=target.doh_path,
+                ),
                 rng=rng,
                 recorder=recorder,
             )
-        if self.config.transport == "dot":
+        if transport == "dot":
             from repro.core.probes import DotProbe, DotProbeConfig
 
-            base = self.config.probe_config
             return DotProbe(
                 host=vantage.host,
                 service_ip=target.service_ip,
@@ -293,24 +396,73 @@ class Campaign:
                 config=DotProbeConfig(
                     tls_versions=base.tls_versions,
                     timeout_ms=base.timeout_ms,
-                    reuse_connections=base.reuse_connections,
-                    session_cache=base.session_cache,
+                    reuse_connections=(
+                        wiring.reuse_connections if wiring else base.reuse_connections
+                    ),
+                    session_cache=(
+                        wiring.session_cache if wiring else base.session_cache
+                    ),
+                    enable_early_data=(
+                        wiring.enable_early_data if wiring else False
+                    ),
+                    early_data_reject_p=(
+                        wiring.early_data_reject_p if wiring else 0.0
+                    ),
+                    cert_verify_ms=(wiring.cert_verify_ms if wiring else 0.0),
                 ),
                 rng=rng,
                 recorder=recorder,
             )
-        if self.config.transport == "doq":
+        if transport == "doq":
             from repro.core.probes import DoqProbe, DoqProbeConfig
 
-            base = self.config.probe_config
+            if wiring is not None:
+                config = DoqProbeConfig(
+                    timeout_ms=base.timeout_ms,
+                    reuse_connections=wiring.reuse_connections,
+                    session_cache=wiring.session_cache,
+                    enable_early_data=wiring.enable_early_data,
+                    early_data_reject_p=wiring.early_data_reject_p,
+                    cert_verify_ms=wiring.cert_verify_ms,
+                )
+            else:
+                config = DoqProbeConfig(
+                    timeout_ms=base.timeout_ms,
+                    reuse_connections=base.reuse_connections,
+                    session_cache=base.session_cache,
+                )
             return DoqProbe(
                 host=vantage.host,
                 service_ip=target.service_ip,
                 server_name=target.hostname,
-                config=DoqProbeConfig(
+                config=config,
+                rng=rng,
+                recorder=recorder,
+            )
+        if transport == "doh3":
+            from repro.core.probes import Doh3Probe, Doh3ProbeConfig
+
+            return Doh3Probe(
+                host=vantage.host,
+                service_ip=target.service_ip,
+                server_name=target.hostname,
+                config=Doh3ProbeConfig(
+                    method=base.method,
                     timeout_ms=base.timeout_ms,
-                    reuse_connections=base.reuse_connections,
-                    session_cache=base.session_cache,
+                    reuse_connections=(
+                        wiring.reuse_connections if wiring else False
+                    ),
+                    session_cache=(
+                        wiring.session_cache if wiring else None
+                    ),
+                    enable_early_data=(
+                        wiring.enable_early_data if wiring else True
+                    ),
+                    early_data_reject_p=(
+                        wiring.early_data_reject_p if wiring else 0.0
+                    ),
+                    cert_verify_ms=(wiring.cert_verify_ms if wiring else 0.0),
+                    doh_path=target.doh_path,
                 ),
                 rng=rng,
                 recorder=recorder,
@@ -320,7 +472,7 @@ class Campaign:
         return Do53Probe(
             host=vantage.host,
             service_ip=target.service_ip,
-            config=Do53ProbeConfig(timeout_ms=self.config.probe_config.timeout_ms),
+            config=Do53ProbeConfig(timeout_ms=base.timeout_ms),
             rng=rng,
             recorder=recorder,
         )
@@ -345,9 +497,10 @@ class Campaign:
                 resolver=target.hostname,
                 round=round_index,
             )
-        probe = self._make_probe(vantage, target, rng)
         domains = list(self.config.domains)
+        transports = list(self.config.transport_list)
         policy = self.config.retry
+        broker = self._sessions
         pending = {"parts": 1 + (1 if self.config.ping else 0)}
 
         def part_done() -> None:
@@ -357,42 +510,72 @@ class Campaign:
                     recorder.end(measurement_span, loop.now)
                 self._round_done(round_index)
 
-        def query_next(index: int) -> None:
-            if index >= len(domains):
-                probe.close()
+        def run_transport(t_index: int) -> None:
+            if t_index >= len(transports):
                 part_done()
                 return
-            domain = domains[index]
+            transport = transports[t_index]
+            t_rng = self._transport_rng(rng, round_index, vantage, target, transport)
+            key = (vantage.name, target.hostname, transport)
+            if (
+                broker is not None
+                and broker.keeps_probes
+                and transport in SESSION_TRANSPORTS
+            ):
+                probe = broker.checkout(
+                    key,
+                    t_rng,
+                    lambda: self._make_probe(transport, vantage, target, t_rng),
+                )
+                managed = True
+            else:
+                probe = self._make_probe(transport, vantage, target, t_rng)
+                managed = False
 
-            def attempt(number: int) -> None:
-                started = loop.now
+            def query_next(index: int) -> None:
+                if index >= len(domains):
+                    if managed and broker is not None:
+                        broker.release(key, probe)
+                    else:
+                        probe.close()
+                    run_transport(t_index + 1)
+                    return
+                domain = domains[index]
 
-                def on_outcome(outcome: ProbeOutcome) -> None:
-                    if policy.should_retry(outcome, number):
-                        if policy.record_attempts:
-                            self._record_query(
-                                round_index, vantage, target, domain, started,
-                                outcome, attempts=number, kind="dns_query_attempt",
+                def attempt(number: int) -> None:
+                    started = loop.now
+
+                    def on_outcome(outcome: ProbeOutcome) -> None:
+                        if broker is not None:
+                            broker.after_query(key)
+                        if policy.should_retry(outcome, number):
+                            if policy.record_attempts:
+                                self._record_query(
+                                    round_index, vantage, target, transport, domain,
+                                    started, outcome, attempts=number,
+                                    kind="dns_query_attempt",
+                                )
+                            if metrics.enabled:
+                                metrics.inc("campaign.retries", transport=transport)
+                            loop.call_later(
+                                policy.backoff_ms(number, t_rng), attempt, number + 1
                             )
-                        if metrics.enabled:
-                            metrics.inc(
-                                "campaign.retries", transport=self.config.transport
-                            )
-                        loop.call_later(
-                            policy.backoff_ms(number, rng), attempt, number + 1
+                            return
+                        self._record_query(
+                            round_index, vantage, target, transport, domain,
+                            started, outcome, attempts=number,
                         )
-                        return
-                    self._record_query(
-                        round_index, vantage, target, domain, started,
-                        outcome, attempts=number,
-                    )
-                    query_next(index + 1)
+                        query_next(index + 1)
 
-                probe.query(domain, on_outcome, span_parent=measurement_span)
+                    if broker is not None:
+                        broker.before_query(key, probe)
+                    probe.query(domain, on_outcome, span_parent=measurement_span)
 
-            attempt(1)
+                attempt(1)
 
-        query_next(0)
+            query_next(0)
+
+        run_transport(0)
 
         if self.config.ping:
             started = loop.now
@@ -413,19 +596,6 @@ class Campaign:
 
             PingProbe(vantage.host, target.service_ip).send(on_ping)
 
-    def _probe_config_for(self, target: ResolverTarget) -> DohProbeConfig:
-        base = self.config.probe_config
-        return DohProbeConfig(
-            method=base.method,
-            http_versions=base.http_versions,
-            tls_versions=base.tls_versions,
-            timeout_ms=base.timeout_ms,
-            reuse_connections=base.reuse_connections,
-            session_cache=base.session_cache,
-            enable_early_data=base.enable_early_data,
-            doh_path=target.doh_path,
-        )
-
     # -- recording -----------------------------------------------------------------
 
     def _record_query(
@@ -433,6 +603,7 @@ class Campaign:
         round_index: int,
         vantage: VantagePoint,
         target: ResolverTarget,
+        transport: str,
         domain: str,
         started_at: float,
         outcome: ProbeOutcome,
@@ -444,7 +615,7 @@ class Campaign:
             vantage=vantage.name,
             resolver=target.hostname,
             kind=kind,
-            transport=self.config.transport,
+            transport=transport,
             domain=domain,
             round_index=round_index,
             started_at_ms=started_at,
@@ -468,6 +639,18 @@ class Campaign:
                 and outcome.response_wire is not None
                 else None
             ),
+            # Session fields stay None (and absent from JSON) unless an
+            # active policy governs this transport — legacy output frozen.
+            session_state=(
+                outcome.session_state
+                if self._sessions is not None and transport in SESSION_TRANSPORTS
+                else None
+            ),
+            session_policy=(
+                self.config.session_policy.mode
+                if self._sessions is not None and transport in SESSION_TRANSPORTS
+                else None
+            ),
         )
         self.store.add(record)
         if self._active_monitor is not None:
@@ -476,19 +659,19 @@ class Campaign:
             self._errors_total += 1
         metrics = self._active_metrics
         if metrics.enabled:
-            metrics.inc("campaign.queries", transport=self.config.transport, kind=kind)
+            metrics.inc("campaign.queries", transport=transport, kind=kind)
             if outcome.success:
                 if outcome.duration_ms is not None:
                     metrics.observe(
                         "campaign.query_ms",
                         outcome.duration_ms,
-                        transport=self.config.transport,
+                        transport=transport,
                     )
             elif outcome.error_class is not None:
                 metrics.inc(
                     "campaign.query_errors",
                     error_class=outcome.error_class.value,
-                    transport=self.config.transport,
+                    transport=transport,
                 )
 
     def _record_ping(

@@ -80,6 +80,16 @@ class CompressionError(DnsWireError):
     """Raised for bad compression pointers (loops, forward references)."""
 
 
+class FramingError(DnsWireError):
+    """Raised when a length-prefixed DNS stream (TCP/DoT/DoQ framing,
+    RFC 1035 §4.2.2) ends mid-frame or declares an impossible length.
+
+    A named error — like :class:`ResultsFormatError` for result files —
+    so a truncated stream fails loudly at the framing layer instead of
+    rotting into an opaque probe timeout.
+    """
+
+
 # ---------------------------------------------------------------------------
 # TLS / HTTP simulation errors
 # ---------------------------------------------------------------------------

@@ -17,7 +17,14 @@ merged result store — the input to every analysis in the paper.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from typing import OrderedDict as OrderedDictType
+
+    from repro.session import SessionPolicy
 
 from repro.core.probes import DohProbeConfig
 from repro.core.results import ResultStore
@@ -223,6 +230,101 @@ HOME_VANTAGE_NAMES = (
     "home-chicago-4",
 )
 EC2_VANTAGE_NAMES = ("ec2-ohio", "ec2-frankfurt", "ec2-seoul")
+
+#: Catalog deployments speaking every session transport (doh/dot/doq/doh3)
+#: — the target set of the session-policy scenario matrix.
+SESSION_TARGET_HOSTNAMES = (
+    "anycast.dns.nextdns.io",
+    "dns.nextdns.io",
+    "dns.adguard.com",
+    "dns-family.adguard.com",
+    "dns-unfiltered.adguard.com",
+)
+
+#: Policy presets swept by :func:`run_sessions_study`, in report order.
+SESSION_STUDY_POLICIES = ("cold", "keep-alive", "resumption", "zero-rtt")
+
+
+def sessions_campaign_config(
+    policy: "SessionPolicy",
+    rounds: int = 3,
+    seed: int = 606,
+    transports: Sequence[str] = ("doh", "dot", "doq", "doh3"),
+    domains: Optional[Sequence[str]] = None,
+) -> CampaignConfig:
+    """One cell of the session scenario matrix: a transport sweep under
+    ``policy``.
+
+    Every policy cell shares the campaign name, seed, and schedule, so
+    the derived per-measurement RNG streams are identical across
+    policies — the only varying input is the session policy itself.
+    That is what makes warm-vs-cold latency deltas attributable to the
+    policy rather than to different random draws.
+    """
+    return CampaignConfig(
+        name="sessions",
+        domains=tuple(domains) if domains is not None else CampaignConfig.domains,
+        schedule=PeriodicSchedule(
+            rounds=rounds, interval_ms=1 * MS_PER_HOUR, stagger_ms=10 * 60 * 1000.0
+        ),
+        transports=tuple(transports),
+        session_policy=policy,
+        ping=False,
+        seed=seed,
+    )
+
+
+def run_sessions_study(
+    policies: Sequence[str] = SESSION_STUDY_POLICIES,
+    world_seed: int = 0,
+    rounds: int = 3,
+    seed: int = 606,
+    transports: Sequence[str] = ("doh", "dot", "doq", "doh3"),
+    domains: Optional[Sequence[str]] = None,
+    vantage_names: Optional[Sequence[str]] = None,
+    target_hostnames: Optional[Iterable[str]] = None,
+    workers: int = 1,
+    shard_by: str = "vantage",
+    shards: Optional[int] = None,
+    store_dir: Optional[str] = None,
+    segment_records: int = 4096,
+) -> "OrderedDictType[str, ParallelRun]":
+    """Run the same campaign once per session policy, serial or sharded.
+
+    Returns an ordered mapping of policy name → :class:`ParallelRun`
+    (insertion order = ``policies`` order).  Each policy runs on its own
+    fresh world built from ``world_seed``; with ``store_dir`` each run
+    streams into a per-policy warehouse subdirectory.
+    """
+    from repro.session import policy_from_name
+
+    names = list(vantage_names) if vantage_names is not None else list(EC2_VANTAGE_NAMES)
+    hostnames = (
+        list(target_hostnames)
+        if target_hostnames is not None
+        else list(SESSION_TARGET_HOSTNAMES)
+    )
+    runs: "OrderedDictType[str, ParallelRun]" = OrderedDict()
+    for name in policies:
+        policy = policy_from_name(name)
+        runs[name] = run_campaign_parallel(
+            sessions_campaign_config(
+                policy, rounds=rounds, seed=seed, transports=transports, domains=domains
+            ),
+            names,
+            hostnames,
+            world_seed=world_seed,
+            workers=workers,
+            shard_by=shard_by,
+            shards=shards,
+            store_dir=(
+                str(Path(store_dir) / name.replace("-", "_"))
+                if store_dir is not None
+                else None
+            ),
+            segment_records=segment_records,
+        )
+    return runs
 
 
 def run_study(

@@ -7,6 +7,9 @@
   concurrent stream multiplexing).  Header blocks use a documented
   JSON-based stand-in for HPACK; frame overhead matches the real 9-byte
   header so message sizes stay realistic.
+* :mod:`repro.httpsim.h3` — HTTP/3 framing for one exchange per QUIC
+  stream (HEADERS + DATA frames, JSON stand-in for QPACK), reusing the
+  h1 request/response types so the DoH codec stacks on top unchanged.
 * :mod:`repro.httpsim.doh` — the RFC 8484 mapping of DNS messages onto
   HTTP: POST with ``application/dns-message`` bodies and GET with
   base64url-encoded ``?dns=`` parameters.
@@ -29,6 +32,13 @@ from repro.httpsim.h2 import (
     H2ClientSession,
     H2ServerSession,
 )
+from repro.httpsim.h3 import (
+    H3CodecError,
+    decode_h3_request,
+    decode_h3_response,
+    encode_h3_request,
+    encode_h3_response,
+)
 from repro.httpsim.doh import (
     CONTENT_TYPE_DNS,
     DohCodecError,
@@ -50,12 +60,17 @@ __all__ = [
     "H1ResponseParser",
     "H2ClientSession",
     "H2ServerSession",
+    "H3CodecError",
     "HttpRequest",
     "HttpResponse",
     "decode_doh_request",
     "decode_doh_response",
+    "decode_h3_request",
+    "decode_h3_response",
     "encode_doh_request",
     "encode_doh_response",
+    "encode_h3_request",
+    "encode_h3_response",
     "encode_request",
     "encode_response",
 ]

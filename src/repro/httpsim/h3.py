@@ -1,0 +1,128 @@
+"""Minimal HTTP/3 framing: one request or response per QUIC stream.
+
+Real HTTP/3 rides QPACK-compressed header frames and DATA frames on
+QUIC streams.  This model keeps the parts that matter for measurement —
+a HEADERS frame followed by a DATA frame, one exchange per
+bidirectional stream — and skips compression: header fields travel as a
+compact JSON object, padded only by their natural size.  The framing is
+``frame_type(1) | length(4, big-endian) | payload``.
+
+The codec reuses :class:`~repro.httpsim.h1.HttpRequest` and
+:class:`~repro.httpsim.h1.HttpResponse` as the parsed representation so
+the DoH codec layer (:mod:`repro.httpsim.doh`) works unchanged on top.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Dict, List, Tuple
+
+from repro.errors import HttpProtocolError
+from repro.httpsim.h1 import HttpRequest, HttpResponse
+from repro.obs import get_metrics
+
+FRAME_DATA = 0x00
+FRAME_HEADERS = 0x01
+
+_FRAME_HEADER = struct.Struct("!BI")
+
+
+class H3CodecError(HttpProtocolError):
+    """Malformed HTTP/3 stream payload."""
+
+
+def _encode_frame(frame_type: int, payload: bytes) -> bytes:
+    return _FRAME_HEADER.pack(frame_type, len(payload)) + payload
+
+
+def _decode_frames(data: bytes) -> List[Tuple[int, bytes]]:
+    frames: List[Tuple[int, bytes]] = []
+    cursor = 0
+    while cursor < len(data):
+        if cursor + _FRAME_HEADER.size > len(data):
+            raise H3CodecError("truncated HTTP/3 frame header")
+        frame_type, length = _FRAME_HEADER.unpack_from(data, cursor)
+        cursor += _FRAME_HEADER.size
+        if cursor + length > len(data):
+            raise H3CodecError("truncated HTTP/3 frame payload")
+        frames.append((frame_type, data[cursor : cursor + length]))
+        cursor += length
+    return frames
+
+
+def _split(data: bytes, what: str) -> Tuple[Dict[str, object], bytes]:
+    frames = _decode_frames(data)
+    if not frames or frames[0][0] != FRAME_HEADERS:
+        raise H3CodecError(f"HTTP/3 {what} must start with a HEADERS frame")
+    try:
+        fields = json.loads(frames[0][1].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise H3CodecError(f"malformed HTTP/3 {what} headers: {exc}") from exc
+    if not isinstance(fields, dict):
+        raise H3CodecError(f"HTTP/3 {what} headers must be an object")
+    body = b"".join(payload for kind, payload in frames[1:] if kind == FRAME_DATA)
+    return fields, body
+
+
+def encode_h3_request(request: HttpRequest, host: str) -> bytes:
+    """Serialize a request for one QUIC stream (adds :authority)."""
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("h3.requests", method=request.method)
+    fields = {
+        ":method": request.method,
+        ":path": request.path,
+        ":authority": host,
+        "headers": dict(request.headers),
+    }
+    wire = _encode_frame(
+        FRAME_HEADERS, json.dumps(fields, separators=(",", ":")).encode("utf-8")
+    )
+    if request.body:
+        wire += _encode_frame(FRAME_DATA, request.body)
+    return wire
+
+
+def decode_h3_request(data: bytes) -> HttpRequest:
+    fields, body = _split(data, "request")
+    method = fields.get(":method")
+    path = fields.get(":path")
+    if not isinstance(method, str) or not isinstance(path, str):
+        raise H3CodecError("HTTP/3 request missing :method or :path")
+    headers = fields.get("headers", {})
+    if not isinstance(headers, dict):
+        raise H3CodecError("HTTP/3 request headers must be an object")
+    return HttpRequest(method=method, path=path, headers=dict(headers), body=body)
+
+
+def encode_h3_response(response: HttpResponse) -> bytes:
+    fields = {":status": response.status, "headers": dict(response.headers)}
+    wire = _encode_frame(
+        FRAME_HEADERS, json.dumps(fields, separators=(",", ":")).encode("utf-8")
+    )
+    if response.body:
+        wire += _encode_frame(FRAME_DATA, response.body)
+    return wire
+
+
+def decode_h3_response(data: bytes) -> HttpResponse:
+    fields, body = _split(data, "response")
+    status = fields.get(":status")
+    if not isinstance(status, int):
+        raise H3CodecError("HTTP/3 response missing :status")
+    headers = fields.get("headers", {})
+    if not isinstance(headers, dict):
+        raise H3CodecError("HTTP/3 response headers must be an object")
+    return HttpResponse(status=status, headers=dict(headers), body=body)
+
+
+__all__ = [
+    "FRAME_DATA",
+    "FRAME_HEADERS",
+    "H3CodecError",
+    "decode_h3_request",
+    "decode_h3_response",
+    "encode_h3_request",
+    "encode_h3_response",
+]

@@ -36,9 +36,10 @@ from repro.observers.significance import (
 from repro.observers.spec import ObserverRegistry, ObserverSpec, default_registry
 
 #: Encrypted transports, for the adoption-share denominator.
-_ENCRYPTED_TRANSPORTS = frozenset({"doh", "dot", "doq"})
-#: "Modern" encrypted transports: QUIC-carried DNS (DoQ today, DoH3 when
-#: the HTTP/3 front end lands — records would carry http_version "h3").
+_ENCRYPTED_TRANSPORTS = frozenset({"doh", "dot", "doq", "doh3"})
+#: QUIC-carried DNS counts as "modern": DoQ and DoH/3 by transport, plus
+#: any DoH record that negotiated HTTP/3 (http_version "h3").
+_QUIC_TRANSPORTS = frozenset({"doq", "doh3"})
 _MODERN_HTTP_VERSIONS = frozenset({"h3"})
 
 _ESTABLISHMENT_CLASSES = frozenset(ESTABLISHMENT_CLASS_VALUES)
@@ -130,7 +131,10 @@ class _AdoptionAcc:
         if not record.success or record.transport not in _ENCRYPTED_TRANSPORTS:
             return
         self.encrypted += 1
-        if record.transport == "doq" or record.http_version in _MODERN_HTTP_VERSIONS:
+        if (
+            record.transport in _QUIC_TRANSPORTS
+            or record.http_version in _MODERN_HTTP_VERSIONS
+        ):
             self.modern += 1
 
     def reading(self) -> Tuple[Optional[float], int]:

@@ -61,7 +61,16 @@ CERT_PAD_CHARS = 2200
 
 @dataclass
 class QuicConfig:
-    """Shared client/server knobs."""
+    """Shared client/server knobs.
+
+    ``early_data_reject_p`` models the server's 0-RTT anti-replay filter:
+    with this probability an early-data attempt is flagged as a replay in
+    the client hello and the server falls back to the 1-RTT resumed path.
+    The draw comes from ``early_data_rng`` (the measurement's derived
+    RNG) so verdicts are deterministic and shard/process independent —
+    server-side ticket/connection ids are process-global counters and
+    must never influence behaviour.
+    """
 
     crypto_delay_ms: float = 0.4
     session_cache: Optional[SessionCache] = None  # client side
@@ -69,6 +78,11 @@ class QuicConfig:
     allow_early_data: bool = True  # server side
     issue_tickets: bool = True
     connect_timeout_ms: float = 10_000.0
+    #: Client-side certificate-chain validation cost, paid once per *full*
+    #: handshake; resumed handshakes (PSK) skip it.
+    cert_verify_ms: float = 0.0
+    early_data_reject_p: float = 0.0
+    early_data_rng: Optional[Any] = None
 
 
 class _StreamAssembler:
@@ -201,6 +215,14 @@ class QuicClientConnection(_QuicEndpoint):
             if self.config.enable_early_data and ticket.allows_early_data:
                 hello["early"] = True
                 self.used_early_data = True
+                if (
+                    self.config.early_data_reject_p > 0.0
+                    and self.config.early_data_rng is not None
+                    and self.config.early_data_rng.random()
+                    < self.config.early_data_reject_p
+                ):
+                    # Anti-replay verdict drawn client-side (see QuicConfig).
+                    hello["early_replay"] = True
 
         def send_initial() -> None:
             self._send_packet(
@@ -311,7 +333,12 @@ class QuicClientConnection(_QuicEndpoint):
             self._timer.cancel()
             self._mark_established()
 
-        self._loop.call_later(self.config.crypto_delay_ms, finish)
+        # Full handshakes validate the certificate chain before finishing;
+        # resumed ones authenticated via the PSK and skip the cost.
+        delay = self.config.crypto_delay_ms
+        if not self.resumed:
+            delay += self.config.cert_verify_ms
+        self._loop.call_later(delay, finish)
 
     def _handle_stream(self, frame: Dict[str, Any]) -> None:
         stream_id = int(frame.get("id", -1))
@@ -403,7 +430,9 @@ class _QuicServerConnection(_QuicEndpoint):
             config = self.listener.config
             ticket_id = frame.get("ticket")
             resumed = ticket_id is not None and ticket_id in self._ticket_registry()
-            wants_early = bool(frame.get("early"))
+            wants_early = bool(frame.get("early")) and not bool(
+                frame.get("early_replay")
+            )
             self.early_accepted = wants_early and resumed and config.allow_early_data
             if self.early_accepted:
                 self.established = True
@@ -498,6 +527,8 @@ class QuicServerListener:
         self.config = config or QuicConfig()
         self._on_stream = on_stream
         self._connections: Dict[int, _QuicServerConnection] = {}
+        self._early_packets: Dict[int, List[Any]] = {}
+        self._max_conn_id_seen = 0
         self.streams_served = 0
         host.bind_udp(port, self._on_datagram)
 
@@ -509,12 +540,27 @@ class QuicServerListener:
         conn = self._connections.get(packet.conn_id)
         if conn is None:
             if packet.kind != KIND_INITIAL:
-                return  # stray packet for a dead connection
+                # Per-packet jitter can reorder a 0-RTT stream packet ahead
+                # of its Initial.  Buffer packets for connections we have
+                # not met yet (ids are monotonic, so anything above the
+                # high-water mark is a future connection, not a dead one)
+                # and replay them once the Initial arrives.
+                if (
+                    packet.kind == KIND_ONE_RTT
+                    and packet.conn_id > self._max_conn_id_seen
+                ):
+                    self._early_packets.setdefault(packet.conn_id, []).append(packet)
+                return
             conn = _QuicServerConnection(
                 self, packet.conn_id,
                 local_ip=dgram.dst_ip, peer_ip=dgram.src_ip, peer_port=dgram.src_port,
             )
             self._connections[packet.conn_id] = conn
+            self._max_conn_id_seen = max(self._max_conn_id_seen, packet.conn_id)
+            conn.handle_packet(packet)
+            for early in self._early_packets.pop(packet.conn_id, ()):
+                conn.handle_packet(early)
+            return
         conn.handle_packet(packet)
 
     def _dispatch(self, conn: _QuicServerConnection, stream_id: int, data: bytes) -> None:

@@ -21,7 +21,13 @@ from repro.netsim.icmp import IcmpPolicy
 from repro.netsim.network import Network
 from repro.netsim.packet import Segment
 from repro.resolver.cache import DnsCache
-from repro.resolver.frontends import Do53Frontend, DoHFrontend, DoQFrontend, DoTFrontend
+from repro.resolver.frontends import (
+    Do53Frontend,
+    Doh3Frontend,
+    DoHFrontend,
+    DoQFrontend,
+    DoTFrontend,
+)
 from repro.resolver.recursive import RecursiveResolver, RootHints
 from repro.tlssim.handshake import TlsServerConfig
 
@@ -176,6 +182,20 @@ class ResolverDeployment:
             if "doq" in self.transports:
                 frontends.append(
                     DoQFrontend(deployment=self, site=site, rng=random.Random(rng.getrandbits(32)))
+                )
+            if "doh3" in self.transports:
+                # Deliberately NOT another draw from the sequential site
+                # rng: the syn policy above closes over that stream and
+                # draws lazily at sim time, so inserting a setup draw here
+                # would shift every later connection verdict and change
+                # existing worlds byte-for-byte.  A separately derived
+                # stream keeps legacy behaviour untouched.
+                frontends.append(
+                    Doh3Frontend(
+                        deployment=self,
+                        site=site,
+                        rng=derive_rng(self.seed, "deployment", self.hostname, index, "doh3"),
+                    )
                 )
             site.frontends = frontends
         if self.anycast:

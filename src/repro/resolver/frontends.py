@@ -24,7 +24,7 @@ from repro.dnswire.edns import (
 )
 from repro.dnswire.message import Message
 from repro.dnswire.types import RCODE_SERVFAIL
-from repro.errors import DnsWireError
+from repro.errors import DnsWireError, FramingError
 from repro.httpsim.doh import (
     DohCodecError,
     decode_doh_request,
@@ -50,6 +50,7 @@ DO53_PORT = 53
 DOT_PORT = 853
 DOH_PORT = 443
 DOQ_PORT = 853  # DoQ runs over UDP; DoT's 853 is TCP — no clash
+DOH3_PORT = 443  # DoH3 runs over QUIC/UDP; DoH's 443 is TCP — no clash
 
 RespondFn = Callable[[bytes], None]
 
@@ -71,9 +72,31 @@ class _LengthPrefixedStream:
             del self._buffer[: 2 + length]
         return messages
 
+    @property
+    def pending(self) -> int:
+        """Bytes buffered waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def finish(self) -> None:
+        """Assert the stream ended on a frame boundary.
+
+        Call when the underlying connection closes; a part-delivered
+        frame means the peer truncated mid-stream, which surfaces as a
+        named :class:`~repro.errors.FramingError` rather than a timeout.
+        """
+        if self._buffer:
+            raise FramingError(
+                f"stream closed mid-frame with {len(self._buffer)} "
+                "unconsumed bytes"
+            )
+
     @staticmethod
     def frame(message: bytes) -> bytes:
         return struct.pack("!H", len(message)) + message
+
+
+#: Public name for the framing parser (probes and tests import this).
+LengthPrefixedStream = _LengthPrefixedStream
 
 
 class _FrontendBase:
@@ -357,6 +380,52 @@ class DoQFrontend(_FrontendBase):
                 stream_id, _LengthPrefixedStream.frame(response)
             ),
         )
+
+
+class Doh3Frontend(_FrontendBase):
+    """DoH over HTTP/3 (RFC 9114 on QUIC, UDP 443): one exchange per stream.
+
+    Reuses the DoH codec path — request path/method validation, cache-
+    control from the minimum answer TTL, HTTP error statuses — on top of
+    the HTTP/3 stream framing.  ODoH stays DoH/TCP-only.
+    """
+
+    def __init__(self, deployment, site, rng: random.Random) -> None:
+        super().__init__(deployment, site, rng)
+        from repro.quicsim.connection import QuicConfig, QuicServerListener
+
+        self.listener = QuicServerListener(
+            site.host, DOH3_PORT, self._on_stream, QuicConfig()
+        )
+
+    def _on_stream(self, conn, stream_id: int, data: bytes) -> None:
+        from repro.httpsim.h3 import (
+            H3CodecError,
+            decode_h3_request,
+            encode_h3_response,
+        )
+
+        def send_http(response: HttpResponse) -> None:
+            conn.respond_stream(stream_id, encode_h3_response(response))
+
+        try:
+            request = decode_h3_request(data)
+        except H3CodecError:
+            send_http(encode_doh_error(400, "malformed HTTP/3 request"))
+            return
+        try:
+            wire = decode_doh_request(request, expected_path=self.deployment.doh_path)
+        except DohCodecError as exc:
+            status = getattr(exc, "status_hint", 400)
+            send_http(encode_doh_error(status, str(exc)))
+            return
+
+        def respond(response_wire: bytes) -> None:
+            min_ttl = _min_answer_ttl(response_wire)
+            send_http(encode_doh_response(response_wire, min_ttl=min_ttl))
+
+        if not self.handle_query_wire(wire, respond):
+            send_http(encode_doh_error(400, "malformed DNS message"))
 
 
 def _min_answer_ttl(response_wire: bytes) -> Optional[int]:

@@ -87,13 +87,29 @@ def _decode_handshakes(body: bytes) -> List[Tuple[int, Dict]]:
 
 @dataclass
 class TlsClientConfig:
-    """Client-side handshake preferences."""
+    """Client-side handshake preferences.
+
+    ``early_data_reject_p`` models the server-side anti-replay filter for
+    0-RTT: with this probability a 0-RTT attempt is marked as a replay in
+    the ClientHello and the server rejects the early data, forcing the
+    standard 1-RTT resumed fallback.  The draw comes from
+    ``early_data_rng`` — callers pass the measurement's own derived RNG
+    so rejection patterns are deterministic and independent of process
+    or shard boundaries (server-side ticket ids are process-global and
+    must never influence behaviour).
+    """
 
     versions: Sequence[str] = ("1.3", "1.2")
     alpn: Sequence[str] = ("h2", "http/1.1")
     session_cache: Optional[SessionCache] = None
     enable_early_data: bool = True
     crypto_delay_ms: float = 0.3
+    #: Client-side certificate-chain validation cost, paid once per *full*
+    #: handshake; resumed (PSK) handshakes skip it — the establishment
+    #: saving that session resumption buys on a 1-RTT handshake.
+    cert_verify_ms: float = 0.0
+    early_data_reject_p: float = 0.0
+    early_data_rng: Optional[object] = None
 
 
 @dataclass
@@ -252,6 +268,15 @@ class TlsClientConnection(_TlsEndpoint):
             ):
                 hello["early_data"] = True
                 self.used_early_data = True
+                if (
+                    self.config.early_data_reject_p > 0.0
+                    and self.config.early_data_rng is not None
+                    and self.config.early_data_rng.random()
+                    < self.config.early_data_reject_p
+                ):
+                    # Anti-replay filter verdict, drawn client-side from the
+                    # measurement RNG (see TlsClientConfig docstring).
+                    hello["early_replay"] = True
 
         def send_hello() -> None:
             self._send_record(
@@ -334,7 +359,11 @@ class TlsClientConnection(_TlsEndpoint):
 
             if self.negotiated_version == "1.3":
                 # Server Finished ends its first flight; answer with ours.
-                self.loop.call_later(self.config.crypto_delay_ms, complete, True, False)
+                # Full handshakes validate the certificate chain first.
+                delay = self.config.crypto_delay_ms
+                if not self.resumed:
+                    delay += self.config.cert_verify_ms
+                self.loop.call_later(delay, complete, True, False)
             elif self.resumed:
                 # TLS 1.2 abbreviated handshake: answer CCS + Finished.
                 self.loop.call_later(self.config.crypto_delay_ms, complete, True, True)
@@ -353,7 +382,10 @@ class TlsClientConnection(_TlsEndpoint):
                 )
                 self._send_record(CONTENT_HANDSHAKE, flight)
 
-            self.loop.call_later(self.config.crypto_delay_ms, second_flight)
+            self.loop.call_later(
+                self.config.crypto_delay_ms + self.config.cert_verify_ms,
+                second_flight,
+            )
         elif msg_type == CHANGE_CIPHER_SPEC:
             pass  # timing carried by the Finished that follows
         elif msg_type == NEW_SESSION_TICKET:
@@ -446,7 +478,9 @@ class TlsServerConnection(_TlsEndpoint):
         ticket_id = hello.get("ticket")
         ticket_known = ticket_id is not None and ticket_id in self._ticket_registry()
         self.resumed = ticket_known and hello.get("ticket_version") == version
-        wants_early = bool(hello.get("early_data"))
+        wants_early = bool(hello.get("early_data")) and not bool(
+            hello.get("early_replay")
+        )
         self.early_data_accepted = (
             wants_early and self.resumed and version == "1.3" and self.config.allow_early_data
         )
